@@ -1,0 +1,178 @@
+// Benchmarks regenerating the paper's tables and figures. One bench per
+// table/figure; each prints the rendered table once and reports paper-
+// relevant metrics (latency percentiles, relative throughput) via
+// b.ReportMetric. Workloads use the quick scale so `go test -bench=.`
+// finishes in minutes; cmd/lxr-bench runs the full-scale versions.
+package lxr_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"lxr/internal/harness"
+	"lxr/internal/stats"
+	"lxr/internal/workload"
+)
+
+func benchOpts(out io.Writer) harness.Options {
+	return harness.Options{
+		Scale:     workload.QuickScale(),
+		GCThreads: 4,
+		Out:       out,
+	}
+}
+
+// BenchmarkTable1 — lusearch at a tight 1.3× heap: LXR vs G1 vs
+// Shenandoah throughput and tail latency (the paper's headline result).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := io.Discard
+		if i == 0 {
+			out = os.Stdout
+		}
+		rows := harness.RunTable1(benchOpts(out))
+		if i == 0 {
+			for _, r := range rows {
+				if !r.OK {
+					continue
+				}
+				b.ReportMetric(r.QPS, r.Collector+"_qps")
+				b.ReportMetric(stats.Percentile(r.Latencies, 99.99), r.Collector+"_p9999ms")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 — benchmark characteristics (demographics realised by
+// the synthetic workloads).
+func BenchmarkTable3(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	opts.Bench = []string{"lusearch", "fop", "xalan", "batik"}
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		harness.RunTable3(opts)
+	}
+}
+
+// BenchmarkTable4 — request latency percentiles for the latency suite
+// at a 1.3× heap across G1/LXR/Shenandoah/ZGC.
+func BenchmarkTable4(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	opts.Bench = []string{"lusearch", "cassandra"}
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		data := harness.RunTable4(opts)
+		if i == 0 {
+			for bench, byCol := range data {
+				for col, r := range byCol {
+					if r.OK {
+						b.ReportMetric(stats.Percentile(r.Latencies, 99.99), bench+"_"+col+"_p9999ms")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 — latency response curves (CSV series).
+func BenchmarkFigure5(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	opts.Bench = []string{"lusearch"}
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		harness.RunFigure5(opts)
+	}
+}
+
+// BenchmarkTable5 — heap-size sensitivity of latency and throughput
+// relative to G1 (1.3×/2×/6×).
+func BenchmarkTable5(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	opts.Bench = []string{"lusearch", "fop", "sunflow"}
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		harness.RunTable5(opts)
+	}
+}
+
+// BenchmarkTable6 — throughput at a 2× heap for the full suite,
+// relative to G1.
+func BenchmarkTable6(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		data := harness.RunTable6(opts)
+		if i == 0 {
+			var lxrRel []float64
+			for _, byCol := range data {
+				g1, lxr := byCol[harness.CG1], byCol[harness.CLXR]
+				if g1 != nil && lxr != nil && g1.OK && lxr.OK && g1.Wall > 0 {
+					lxrRel = append(lxrRel, lxr.Wall.Seconds()/g1.Wall.Seconds())
+				}
+			}
+			b.ReportMetric(stats.GeoMean(lxrRel), "LXR_vs_G1_geomean")
+		}
+	}
+}
+
+// BenchmarkTable7 — LXR breakdown: ablations, pause stats, barrier
+// overhead and reclamation shares.
+func BenchmarkTable7(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	opts.Bench = []string{"lusearch", "fop", "xalan", "avrora"}
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		harness.RunTable7(opts)
+	}
+}
+
+// BenchmarkFigure7 — lower-bound-overhead analysis across heap sizes
+// (wall time and total cycles).
+func BenchmarkFigure7(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	opts.Bench = []string{"fop", "sunflow", "zxing"}
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		rows := harness.RunFigure7(opts, []float64{2, 4})
+		if i == 0 {
+			for _, r := range rows {
+				if r.Collector == harness.CLXR {
+					b.ReportMetric(r.CyclesLBO, "LXR_cyclesLBO_"+fmtFactor(r.Factor))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSensitivity — §5.4 runtime-configurable sensitivity knobs.
+func BenchmarkSensitivity(b *testing.B) {
+	opts := benchOpts(os.Stdout)
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			opts.Out = io.Discard
+		}
+		harness.RunSensitivity(opts)
+	}
+}
+
+func fmtFactor(f float64) string {
+	if f == float64(int(f)) {
+		return string(rune('0'+int(f))) + "x"
+	}
+	return "x"
+}

@@ -1,0 +1,80 @@
+// Command lxr-bench regenerates the paper's tables and figures on the
+// simulated runtime.
+//
+// Usage:
+//
+//	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|all
+//	          [-scale quick|default] [-gcthreads N] [-bench name,name,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lxr/internal/harness"
+	"lxr/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "table6", "experiment id (table1, table3, table4, table5, table6, table7, figure5, figure7, sensitivity, all)")
+		scale      = flag.String("scale", "default", "workload scaling: quick or default")
+		gcThreads  = flag.Int("gcthreads", 4, "parallel GC threads")
+		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
+	)
+	flag.Parse()
+
+	opts := harness.Options{GCThreads: *gcThreads, Out: os.Stdout}
+	switch *scale {
+	case "quick":
+		opts.Scale = workload.QuickScale()
+	case "default":
+		opts.Scale = workload.DefaultScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *bench != "" {
+		opts.Bench = strings.Split(*bench, ",")
+	}
+
+	run := func(id string) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", id)
+		switch id {
+		case "table1":
+			harness.RunTable1(opts)
+		case "table3":
+			harness.RunTable3(opts)
+		case "table4":
+			harness.RunTable4(opts)
+		case "table5":
+			harness.RunTable5(opts)
+		case "table6":
+			harness.RunTable6(opts)
+		case "table7":
+			harness.RunTable7(opts)
+		case "figure5":
+			harness.RunFigure5(opts)
+		case "figure7":
+			harness.RunFigure7(opts, nil)
+		case "sensitivity":
+			harness.RunSensitivity(opts)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, id := range []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity"} {
+			run(id)
+		}
+		return
+	}
+	run(*experiment)
+}

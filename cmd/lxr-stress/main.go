@@ -1,0 +1,112 @@
+// Command lxr-stress hammers a collector with randomized object-graph
+// churn while holding a verifiable structure live, and checks it after
+// every phase — a quick invariant smoke for collector changes. Set
+// LXR_VERIFY=1 for LXR's internal checks too.
+//
+//	lxr-stress -collector LXR -heap 32 -seconds 10 -mutators 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"lxr"
+)
+
+func main() {
+	var (
+		collector = flag.String("collector", "LXR", "collector")
+		heapMB    = flag.Int("heap", 32, "heap size MB")
+		seconds   = flag.Int("seconds", 10, "stress duration")
+		mutators  = flag.Int("mutators", 4, "mutator threads")
+	)
+	flag.Parse()
+
+	rt, err := lxr.NewRuntimeChecked(lxr.RuntimeConfig{
+		Collector: lxr.CollectorKind(*collector),
+		HeapBytes: *heapMB << 20,
+		GCThreads: 4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	defer rt.Shutdown()
+
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	var wg sync.WaitGroup
+	failures := make(chan string, *mutators)
+	for w := 0; w < *mutators; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := rt.RegisterMutator(8)
+			defer m.Deregister()
+
+			// Live structure: a ring of nodes, each with a checksum.
+			const ringLen = 512
+			var first lxr.Ref
+			var prev lxr.Ref
+			for i := 0; i < ringLen; i++ {
+				n := m.Alloc(1, 1, 16)
+				m.WritePayload(n, 0, uint64(id)<<32|uint64(i))
+				if prev != 0 {
+					m.Store(prev, 0, n)
+				} else {
+					m.Roots[0] = n
+				}
+				prev = n
+				m.Roots[1] = n
+			}
+			first = m.Roots[0]
+			m.Store(prev, 0, first) // close the ring
+			m.Roots[1] = 0
+
+			rounds := 0
+			for time.Now().Before(deadline) {
+				// Churn.
+				for i := 0; i < 20000; i++ {
+					g := m.Alloc(2, 2, int(m.Rand()%200)+8)
+					if i%8 != 0 { // short chains only: cut so history dies
+						m.Store(g, 0, m.Roots[2])
+					}
+					m.Roots[2] = g
+				}
+				m.Roots[2] = 0
+				// Walk the full ring and verify payloads.
+				cur := m.Roots[0]
+				for i := 0; i < ringLen; i++ {
+					want := uint64(id)<<32 | uint64(i)
+					if got := m.ReadPayload(cur, 0); got != want {
+						failures <- fmt.Sprintf("mutator %d: node %d payload %x want %x", id, i, got, want)
+						return
+					}
+					cur = m.Load(cur, 0)
+				}
+				if cur != m.Roots[0] {
+					failures <- fmt.Sprintf("mutator %d: ring no longer closed", id)
+					return
+				}
+				rounds++
+			}
+			fmt.Printf("mutator %d: %d rounds verified\n", id, rounds)
+		}(w)
+	}
+	wg.Wait()
+	close(failures)
+	bad := false
+	for f := range failures {
+		fmt.Println("FAIL:", f)
+		bad = true
+	}
+	st := rt.Stats
+	fmt.Printf("pauses=%d totalSTW=%s defensiveSkips=%d\n",
+		st.PauseCount(), st.TotalPause().Round(time.Microsecond), st.Counter("lxr.defensive.skips"))
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+}

@@ -1,0 +1,91 @@
+// Command lxr-trace runs one workload under one collector and prints a
+// GC event log: every pause with its duration, plus end-of-run summary
+// statistics. It is the quickest way to see a collector's pause
+// behaviour on a given workload.
+//
+// Usage:
+//
+//	lxr-trace -bench lusearch -collector LXR -heap 2.0 [-scale quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"lxr/internal/harness"
+	"lxr/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "lusearch", "benchmark name")
+		collector = flag.String("collector", "LXR", "collector (LXR, G1, Shenandoah, ZGC, Serial, Parallel, SemiSpace, Immix)")
+		heap      = flag.Float64("heap", 2.0, "heap factor relative to scaled minimum")
+		scale     = flag.String("scale", "quick", "workload scaling: quick or default")
+		gcThreads = flag.Int("gcthreads", 4, "parallel GC threads")
+	)
+	flag.Parse()
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; available:", *bench)
+		for _, s := range workload.Suite() {
+			fmt.Fprintf(os.Stderr, " %s", s.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	opts := harness.Options{GCThreads: *gcThreads, Out: os.Stdout}
+	if *scale == "quick" {
+		opts.Scale = workload.QuickScale()
+	} else {
+		opts.Scale = workload.DefaultScale()
+	}
+
+	rate := float64(0)
+	if spec.Request != nil {
+		rate = harness.CalibrateRate(spec, opts)
+		fmt.Printf("calibrated arrival rate: %.0f req/s\n", rate)
+	}
+	r := harness.RunOne(spec, *collector, *heap, rate, opts)
+	if !r.OK {
+		fmt.Printf("%s cannot run %s at %.1fx heap (%d MB)\n", *collector, *bench, *heap, r.HeapBytes>>20)
+		return
+	}
+
+	fmt.Printf("\n%s on %s, %.1fx heap (%d MB): %s wall\n", *collector, *bench, *heap, r.HeapBytes>>20, r.Wall.Round(time.Microsecond))
+	if len(r.Latencies) > 0 {
+		fmt.Printf("QPS %.0f\n", r.QPS)
+	}
+	fmt.Printf("pauses: %d, total STW %s\n", len(r.Pauses), r.TotalSTW().Round(time.Microsecond))
+	for _, p := range []float64{50, 95, 99, 100} {
+		fmt.Printf("  pause p%g: %.3f ms\n", p, r.PausePercentile(p))
+	}
+	fmt.Printf("collector work: %s (concurrent %s), mutator busy: %s\n",
+		r.GCWork.Round(time.Microsecond), r.ConcWork.Round(time.Microsecond), r.MutBusy.Round(time.Microsecond))
+
+	if len(r.Counters) > 0 {
+		fmt.Println("counters:")
+		keys := make([]string, 0, len(r.Counters))
+		for k := range r.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-26s %d\n", k, r.Counters[k])
+		}
+	}
+
+	fmt.Println("\npause log (first 40):")
+	for i, p := range r.Pauses {
+		if i >= 40 {
+			fmt.Printf("  ... %d more\n", len(r.Pauses)-40)
+			break
+		}
+		fmt.Printf("  %-8s %8.3f ms (ttsp %6.3f ms)\n", p.Kind,
+			float64(p.Dur)/float64(time.Millisecond), float64(p.TTSP)/float64(time.Millisecond))
+	}
+}

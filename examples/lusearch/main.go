@@ -1,0 +1,53 @@
+// Lusearch-like latency-critical service (the paper's headline
+// workload, Table 1): a search service with a very high allocation rate
+// and tiny survival, driven by an open-loop metered request stream.
+// Run it under two collectors and compare tail latency:
+//
+//	go run ./examples/lusearch -collector LXR
+//	go run ./examples/lusearch -collector Shenandoah
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"lxr/internal/harness"
+	"lxr/internal/workload"
+)
+
+func main() {
+	collector := flag.String("collector", "LXR", "LXR, G1, Shenandoah or ZGC")
+	heap := flag.Float64("heap", 1.3, "heap factor over the scaled minimum (the paper's tight heap is 1.3x)")
+	flag.Parse()
+
+	spec, _ := workload.ByName("lusearch")
+	opts := harness.Options{Scale: workload.QuickScale(), GCThreads: 4}
+
+	fmt.Printf("calibrating request rate (closed-loop probe on Parallel)...\n")
+	rate := harness.CalibrateRate(spec, opts)
+	fmt.Printf("arrival rate: %.0f req/s\n", rate)
+
+	r := harness.RunOne(spec, *collector, *heap, rate, opts)
+	if !r.OK {
+		fmt.Printf("%s cannot run at %.1fx heap (%d MB)\n", *collector, *heap, r.HeapBytes>>20)
+		return
+	}
+	fmt.Printf("\n%s @ %.1fx heap (%d MB)\n", *collector, *heap, r.HeapBytes>>20)
+	fmt.Printf("throughput: %.0f QPS over %s\n", r.QPS, r.Wall.Round(1e6))
+	for _, p := range []float64{50, 99, 99.9, 99.99} {
+		fmt.Printf("query latency p%-6g %8.2f ms\n", p, percentile(r.Latencies, p))
+	}
+	for _, p := range []float64{50, 99, 99.9, 99.99} {
+		fmt.Printf("GC pause     p%-6g %8.3f ms\n", p, r.PausePercentile(p))
+	}
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[int(p/100*float64(len(s)-1))]
+}

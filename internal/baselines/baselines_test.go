@@ -1,0 +1,203 @@
+package baselines_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lxr/internal/baselines"
+	"lxr/internal/core"
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+// plans returns every collector under test at the given heap size.
+func plans(heap int) map[string]func() vm.Plan {
+	return map[string]func() vm.Plan{
+		"LXR":        func() vm.Plan { return core.New(core.Config{HeapBytes: heap, GCThreads: 2}) },
+		"SemiSpace":  func() vm.Plan { return baselines.NewSemiSpace("SS", heap, 2) },
+		"Serial":     func() vm.Plan { return baselines.NewSerial(heap) },
+		"Parallel":   func() vm.Plan { return baselines.NewParallel(heap, 2) },
+		"Immix":      func() vm.Plan { return baselines.NewImmix(heap, 2, false) },
+		"Immix+WB":   func() vm.Plan { return baselines.NewImmix(heap, 2, true) },
+		"G1":         func() vm.Plan { return baselines.NewG1(heap, 2) },
+		"Shenandoah": func() vm.Plan { return baselines.NewShenandoah(heap, 2) },
+		"ZGC": func() vm.Plan {
+			if p := baselines.NewZGC(heap, 2); p != nil {
+				return p
+			}
+			return nil
+		},
+	}
+}
+
+// exercise churns a heap with a long-lived list, short-lived garbage,
+// pointer mutations and large objects, verifying the survivors after.
+func exercise(t *testing.T, v *vm.VM, iters int) {
+	t.Helper()
+	m := v.RegisterMutator(8)
+	defer m.Deregister()
+
+	const listLen = 800
+	var head obj.Ref
+	for i := listLen - 1; i >= 0; i-- {
+		n := m.Alloc(1, 1, 16)
+		m.WritePayload(n, 0, uint64(i))
+		if !head.IsNil() {
+			m.Store(n, 0, head)
+		}
+		head = n
+		m.Roots[0] = head
+	}
+	m.Roots[1] = m.Roots[0]
+	m.Roots[0] = 0
+
+	// Churn: garbage, mutations into a small live window, large objects.
+	window := make([]int, 0)
+	_ = window
+	for i := 0; i < iters; i++ {
+		g := m.Alloc(2, 2, 40)
+		m.Store(g, 0, m.Roots[1]) // point into the list
+		m.Roots[2] = g
+		if i%97 == 0 {
+			m.Roots[3] = m.Alloc(0, 1, 20<<10) // large object
+		}
+		if i%31 == 0 {
+			// Mutate a heap pointer: relink g.1 to previous garbage.
+			m.Store(g, 1, m.Roots[2])
+		}
+		if i%4096 == 0 {
+			m.Safepoint()
+		}
+	}
+	m.Roots[2], m.Roots[3] = 0, 0
+	m.RequestGC()
+	m.RequestGC()
+
+	cur := m.Roots[1]
+	for i := 0; i < listLen; i++ {
+		if cur.IsNil() {
+			t.Fatalf("list truncated at %d", i)
+		}
+		if got := m.ReadPayload(cur, 0); got != uint64(i) {
+			t.Fatalf("node %d corrupted: %d", i, got)
+		}
+		cur = m.Load(cur, 0)
+	}
+	if !cur.IsNil() {
+		t.Fatal("list tail not nil")
+	}
+}
+
+func TestAllCollectorsPreserveLiveData(t *testing.T) {
+	for name, mk := range plans(48 << 20) {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			p := mk()
+			if p == nil {
+				t.Skip("collector cannot run at this heap size")
+			}
+			v := vm.New(p, 8)
+			defer v.Shutdown()
+			exercise(t, v, 120000)
+			if v.Stats.PauseCount() == 0 && name != "Shenandoah" && name != "ZGC" {
+				t.Errorf("%s: no pauses recorded", name)
+			}
+		})
+	}
+}
+
+func TestCollectorsMultiThreaded(t *testing.T) {
+	for _, name := range []string{"LXR", "G1", "Shenandoah", "Parallel"} {
+		mk := plans(64 << 20)[name]
+		t.Run(name, func(t *testing.T) {
+			p := mk()
+			v := vm.New(p, 8)
+			defer v.Shutdown()
+			const workers = 3
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				go func(id int) {
+					defer func() {
+						if r := recover(); r != nil {
+							errs <- fmt.Errorf("worker %d: %v", id, r)
+						}
+					}()
+					m := v.RegisterMutator(8)
+					defer m.Deregister()
+					var head obj.Ref
+					for i := 299; i >= 0; i-- {
+						n := m.Alloc(1, 1, 16)
+						m.WritePayload(n, 0, uint64(i))
+						if !head.IsNil() {
+							m.Store(n, 0, head)
+						}
+						head = n
+						m.Roots[0] = head
+					}
+					for i := 0; i < 80000; i++ {
+						g := m.Alloc(1, 1, 48)
+						m.Store(g, 0, m.Roots[0])
+						m.Roots[1] = g
+					}
+					cur := m.Roots[0]
+					for i := 0; i < 300; i++ {
+						if cur.IsNil() {
+							errs <- fmt.Errorf("worker %d: truncated at %d", id, i)
+							return
+						}
+						if got := m.ReadPayload(cur, 0); got != uint64(i) {
+							errs <- fmt.Errorf("worker %d: node %d = %d", id, i, got)
+							return
+						}
+						cur = m.Load(cur, 0)
+					}
+					errs <- nil
+				}(w)
+			}
+			for i := 0; i < workers; i++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestZGCMinHeap(t *testing.T) {
+	if baselines.NewZGC(16<<20, 2) != nil {
+		t.Fatal("ZGC should refuse a 16 MB heap")
+	}
+	if baselines.NewZGC(64<<20, 2) == nil {
+		t.Fatal("ZGC should accept a 64 MB heap")
+	}
+}
+
+func TestG1RunsMixedCollections(t *testing.T) {
+	p := baselines.NewG1(32<<20, 2)
+	v := vm.New(p, 8)
+	defer v.Shutdown()
+	m := v.RegisterMutator(8)
+	defer m.Deregister()
+	// Long-lived data to push occupancy over the marking threshold,
+	// then churn so marking and mixed collections happen.
+	var head obj.Ref
+	for i := 0; i < 120000; i++ {
+		n := m.Alloc(1, 1, 64)
+		if !head.IsNil() {
+			m.Store(n, 0, head)
+		}
+		if i%3 != 0 {
+			head = n // two-thirds become garbage over time
+		}
+		m.Roots[0] = head
+		if i%1000 == 999 {
+			head = 0
+			m.Roots[0] = m.Alloc(1, 1, 64) // drop the chain periodically
+			head = m.Roots[0]
+		}
+	}
+	m.RequestGC()
+	if p.PausesYoung() == 0 {
+		t.Fatal("G1 never ran a young collection")
+	}
+}

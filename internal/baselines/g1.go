@@ -1,0 +1,562 @@
+package baselines
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/immix"
+	"lxr/internal/mem"
+	"lxr/internal/meta"
+	"lxr/internal/obj"
+	"lxr/internal/remset"
+	"lxr/internal/satb"
+	"lxr/internal/vm"
+)
+
+// Region kinds for G1 blocks.
+const (
+	g1KindYoung uint8 = 1
+	g1KindOld   uint8 = 2
+)
+
+// G1 is a Garbage-First-style region-based generational collector
+// (Detlefs et al. 2004): bump allocation into young regions; frequent
+// stop-the-world young evacuations driven by a cross-region write
+// barrier and remembered sets; concurrent SATB marking cycles that
+// measure per-region liveness; and mixed collections that additionally
+// evacuate the lowest-liveness old regions selected by the marking.
+//
+// Regions are one Immix block (32 KB) — scaled to this substrate's heap
+// sizes the way G1 scales its 1-32 MB regions to multi-GB heaps.
+type G1 struct {
+	base
+	marks  *meta.BitTable
+	logs   *meta.FieldLogTable
+	reuse  *meta.LineCounters
+	rem    *remset.Table
+	tracer *satb.Tracer
+
+	marking  atomic.Bool // concurrent mark in progress: SATB barrier armed
+	markDone atomic.Bool // marking finished; mixed collection pending
+	csetOld  []int
+
+	youngBlocks atomic.Int32 // young blocks allocated since last young GC
+	youngTarget int32
+
+	// concurrent mark driver
+	ctl *markController
+
+	gcScheduled atomic.Bool
+	pausesYoung int64
+	pausesMixed int64
+	evacMarks   *meta.BitTable // per-pause scan-once scratch
+}
+
+// NewG1 creates a G1-like plan.
+func NewG1(heapBytes, gcThreads int) *G1 {
+	p := &G1{base: newBase("G1", heapBytes, gcThreads)}
+	p.marks = markBits(p.bt.Arena)
+	p.logs = meta.NewFieldLogTable(p.bt.Arena)
+	p.reuse = meta.NewLineCounters(p.bt.Arena)
+	p.rem = remset.NewTable(p.reuse, 0)
+	p.tracer = &satb.Tracer{
+		OM:    p.om,
+		Marks: p.marks,
+		// Concurrent marking can pop stale queue entries whose memory
+		// was reclaimed; the filter shields the trace from them.
+		Filter: func(r obj.Ref) bool {
+			return r&(mem.Granule-1) == 0 && p.om.A.Contains(r)
+		},
+		OnMark: func(r obj.Ref) {
+			if !p.om.IsLarge(r) {
+				p.bt.AddLive(r.Block(), int32(p.om.Size(r)))
+			}
+		},
+		OnEdge: func(slot mem.Address, v obj.Ref) {
+			if v&(mem.Granule-1) == 0 && p.om.A.Contains(v) &&
+				p.bt.HasFlag(v.Block(), immix.FlagDefrag) {
+				p.rem.Record(slot, v.Block())
+			}
+		},
+	}
+	p.bt.LOS().OnAlloc = func(start, end mem.Address) {
+		// Arm every word: stores into large objects must always be
+		// captured (there is no promotion step to arm them later).
+		for a := start; a < end; a += mem.WordSize {
+			p.logs.SetUnlogged(a)
+		}
+		p.marks.ClearRange(start, end)
+	}
+	// Young generation sized at a quarter of the heap, floor 8 regions.
+	p.youngTarget = int32(p.bt.BudgetBlocks() / 4)
+	if p.youngTarget < 8 {
+		p.youngTarget = 8
+	}
+	p.evacMarks = markBits(p.bt.Arena)
+	p.ctl = newMarkController(p)
+	return p
+}
+
+type g1Mut struct {
+	alloc immix.Allocator // young allocation
+	dirty gcwork.AddrBuffer
+	satbB gcwork.AddrBuffer // SATB old values during marking
+}
+
+// Boot implements vm.Plan.
+func (p *G1) Boot(v *vm.VM) {
+	p.vm = v
+	p.ctl.start()
+}
+
+// Shutdown implements vm.Plan.
+func (p *G1) Shutdown() { p.ctl.stop() }
+
+// BindMutator implements vm.Plan.
+func (p *G1) BindMutator(m *vm.Mutator) {
+	ms := &g1Mut{}
+	ms.alloc = immix.Allocator{
+		BT:   p.bt,
+		Kind: g1KindYoung,
+		OnSpan: func(start, end mem.Address, recycled bool) {
+			p.logs.ClearRange(start, end)
+			p.youngBlocks.Add(1)
+		},
+	}
+	m.PlanState = ms
+}
+
+// UnbindMutator implements vm.Plan.
+func (p *G1) UnbindMutator(m *vm.Mutator) {
+	ms := m.PlanState.(*g1Mut)
+	ms.alloc.Flush()
+	p.ctl.dirty.Append(ms.dirty.Take())
+	p.ctl.satbIn.Append(ms.satbB.Take())
+	m.PlanState = nil
+}
+
+// Alloc implements vm.Plan.
+func (p *G1) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
+	m.Safepoint()
+	ms := m.PlanState.(*g1Mut)
+	// Repeated attempts give the concurrent mark time to reach its
+	// final-mark pause so a mixed collection can reclaim old regions
+	// (real G1's fallback is a full compaction; repeated young+mixed
+	// pauses play that role here).
+	r, ok := gcRetry(p.vm, m, 12,
+		func() (obj.Ref, bool) {
+			if l.Large {
+				return p.allocLarge(l)
+			}
+			return ms.alloc.Alloc(l.Size)
+		},
+		func() { p.collectLocked() })
+	if !ok {
+		p.oom(l)
+	}
+	if !l.Large {
+		p.om.WriteHeader(r, l)
+	} else if p.marking.Load() {
+		// Allocate black: SATB keeps objects allocated during the mark
+		// alive; without this the large-object sweep at mark completion
+		// could reclaim a live newborn.
+		p.marks.Set(r)
+	}
+	return r
+}
+
+// WriteRef implements vm.Plan: G1's write barriers. The remembered-set
+// barrier logs each mutated field once per epoch (card-table analogue);
+// the SATB barrier additionally captures the overwritten value while a
+// concurrent mark is running; stores into mixed-collection candidates
+// feed their remembered sets.
+func (p *G1) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
+	ms := m.PlanState.(*g1Mut)
+	slot := p.om.SlotAddr(src, i)
+	if p.logs.Get(slot) != 0 {
+		p.logSlot(ms, slot)
+	}
+	p.om.A.StoreRef(slot, val)
+	if !val.IsNil() && (p.marking.Load() || p.markDone.Load()) && p.bt.HasFlag(val.Block(), immix.FlagDefrag) {
+		p.rem.Record(slot, val.Block())
+	}
+}
+
+func (p *G1) logSlot(ms *g1Mut, slot mem.Address) {
+	for {
+		switch p.logs.Get(slot) {
+		case meta.LogLogged:
+			return
+		case meta.LogUnlogged:
+			if p.logs.TryBeginLog(slot) {
+				if p.marking.Load() {
+					if old := p.om.A.LoadRef(slot); !old.IsNil() {
+						ms.satbB.Push(old)
+					}
+				}
+				ms.dirty.Push(slot)
+				p.logs.FinishLog(slot)
+				return
+			}
+		default:
+		}
+	}
+}
+
+// ReadRef implements vm.Plan: no read barrier (G1 evacuates in pauses).
+func (p *G1) ReadRef(m *vm.Mutator, src obj.Ref, i int) obj.Ref {
+	return p.om.LoadSlot(src, i)
+}
+
+// PollSafepoint implements vm.Plan: young collections trigger when the
+// young generation reaches its target size, or earlier when the
+// remaining budget no longer guarantees the evacuation copy reserve
+// (real G1 reserves to-space the same way to avoid evacuation failure).
+func (p *G1) PollSafepoint(m *vm.Mutator) {
+	yb := p.youngBlocks.Load()
+	// Margin: evacuation must fit the young survivors even if large
+	// allocations land between this poll and the pause.
+	due := yb >= p.youngTarget ||
+		(yb > 4 && p.bt.BudgetRemaining() <= int(yb)+int(yb)/4+8)
+	if due && p.gcScheduled.CompareAndSwap(false, true) {
+		e := p.vm.GCEpoch()
+		p.vm.CollectIfEpoch(m, e, func() { p.collectLocked() })
+		p.gcScheduled.Store(false)
+	}
+}
+
+// CollectNow implements vm.Plan: a young (possibly mixed) evacuation
+// pause, self-serialised.
+func (p *G1) CollectNow(cause string) {
+	p.vm.RunCollection(nil, func() { p.collectLocked() })
+}
+
+func (p *G1) collectLocked() {
+	dur := p.vm.StopTheWorld("young", func() { p.collect() })
+	p.vm.Stats.AddGCWork(dur * time.Duration(p.pool.N))
+}
+
+// collect performs the evacuation pause: copy all live young objects to
+// old regions (promotion), optionally evacuating the marking-selected
+// old collection set, then free every young region.
+func (p *G1) collect() {
+	p.ctl.quiesce()
+	defer p.ctl.release()
+	p.pausesYoung++
+
+	var dirty []mem.Address
+	var satbOld []mem.Address
+	p.vm.EachMutator(func(m *vm.Mutator) {
+		ms := m.PlanState.(*g1Mut)
+		ms.alloc.Flush()
+		dirty = ms.dirty.TakeInto(dirty)
+		satbOld = ms.satbB.TakeInto(satbOld)
+	})
+	dirty = append(dirty, p.ctl.dirty.Take()...)
+	satbOld = append(satbOld, p.ctl.satbIn.Take()...)
+	if p.marking.Load() {
+		// Final mark: when the concurrent tracer has drained everything
+		// captured up to the previous epoch, this pause seeds the last
+		// captures, completes the closure in parallel, selects the old
+		// collection set from the measured liveness, and reclaims dead
+		// large objects.
+		wasIdle := !p.tracer.Pending()
+		p.tracer.Seed(satbOld)
+		if wasIdle {
+			p.tracer.DrainParallel(p.pool)
+			p.finishMark()
+			p.sweepLargeUnmarked(p.marks)
+		}
+	}
+
+	mixed := p.markDone.Load() && len(p.csetOld) > 0
+	if mixed {
+		p.pausesMixed++
+	}
+
+	// Root slots.
+	var rootSlots []*obj.Ref
+	p.vm.EachMutator(func(m *vm.Mutator) {
+		for i := range m.Roots {
+			if !m.Roots[i].IsNil() {
+				rootSlots = append(rootSlots, &m.Roots[i])
+			}
+		}
+	})
+	for i := range p.vm.Globals {
+		if !p.vm.Globals[i].IsNil() {
+			rootSlots = append(rootSlots, &p.vm.Globals[i])
+		}
+	}
+
+	// Work items: tagged roots, dirty slots (old regions only — young
+	// slots die with their regions), and validated remset entries for
+	// the old cset.
+	items := make([]mem.Address, 0, len(dirty)+len(rootSlots))
+	for i := range rootSlots {
+		items = append(items, mem.Address(i)|ssRootTag)
+	}
+	for _, s := range dirty {
+		p.logs.SetUnlogged(s) // re-arm the barrier
+		if p.bt.Kind(s.Block()) == g1KindOld || p.bt.LOS().Contains(s) {
+			items = append(items, s)
+		}
+	}
+	if mixed {
+		for _, e := range p.rem.TakeAll() {
+			if p.rem.Valid(e) && p.bt.Kind(e.Slot.Block()) == g1KindOld {
+				items = append(items, e.Slot)
+			}
+		}
+	}
+
+	evacMarks := p.evacMarks // scan-once guard for this pause
+	evacMarks.ClearAll()
+	p.pool.Drain(items,
+		func(w *gcwork.Worker) {
+			w.Scratch = &immix.Allocator{BT: p.bt, Kind: g1KindOld, NoBudget: true,
+				OnSpan: func(start, end mem.Address, recycled bool) {
+					p.logs.ClearRange(start, end)
+				}}
+		},
+		func(w *gcwork.Worker, item mem.Address) {
+			if item&ssRootTag != 0 {
+				slot := rootSlots[int(item&^ssRootTag)]
+				if nv, changed := p.evacuate(w, *slot, evacMarks); changed {
+					*slot = nv
+				}
+			} else {
+				v := p.om.A.LoadRef(item)
+				// Slots arriving through remembered sets can be stale
+				// (the containing object died); discard implausible
+				// values, the reuse-counter tag catches the rest.
+				if v.IsNil() || v&(mem.Granule-1) != 0 || !p.om.A.Contains(v) {
+					return
+				}
+				if nv, changed := p.evacuate(w, v, evacMarks); changed {
+					p.om.A.StoreRef(item, nv)
+				}
+			}
+		},
+		func(w *gcwork.Worker) { w.Scratch.(*immix.Allocator).Flush() })
+
+	// Free all young regions and the evacuated old cset.
+	p.bt.AllBlocks(func(idx int) {
+		st := p.bt.State(idx)
+		if st != immix.StateFull && st != immix.StateReserved {
+			return
+		}
+		if p.bt.Kind(idx) == g1KindYoung || p.bt.HasFlag(idx, immix.FlagDefrag) {
+			p.reuse.BumpRange(mem.BlockStart(idx), mem.BlockStart(idx)+mem.BlockSize)
+			p.bt.ReleaseFree(idx)
+		}
+	})
+	if mixed {
+		p.csetOld = nil
+		p.markDone.Store(false)
+	}
+	p.youngBlocks.Store(0)
+
+	// Trigger a concurrent mark when occupancy crosses the IHOP-style
+	// threshold (45% of budget).
+	if !p.marking.Load() && !p.markDone.Load() &&
+		p.bt.InUseBlocks()+p.bt.LOS().BlocksInUse() > p.bt.BudgetBlocks()*45/100 {
+		p.startMark(rootSlots)
+	}
+}
+
+// evacuate copies a young (or mixed-cset) object, scanning it once for
+// further in-scope references. Returns the possibly-new address.
+func (p *G1) evacuate(w *gcwork.Worker, ref obj.Ref, evacMarks *meta.BitTable) (obj.Ref, bool) {
+	inScope := p.bt.Kind(ref.Block()) == g1KindYoung || p.bt.HasFlag(ref.Block(), immix.FlagDefrag)
+	if p.om.IsLarge(ref) {
+		inScope = false
+	}
+	if !inScope {
+		// Still scan large/old targets reachable from roots? No: old
+		// objects' young refs are covered by dirty slots; large objects
+		// behave as old. Only resolve prior forwarding.
+		if p.om.IsForwarded(ref) {
+			return p.om.ForwardingPointer(ref), true
+		}
+		return ref, false
+	}
+	al := w.Scratch.(*immix.Allocator)
+	nv := p.copyInto(al, ref)
+	if nv.IsNil() {
+		p.oom(obj.Layout{Size: p.om.Size(ref)})
+	}
+	if evacMarks.TrySet(nv) {
+		// Keep promoted objects live for an in-flight concurrent mark
+		// (they are new since the snapshot).
+		if p.marking.Load() {
+			p.marks.Set(nv)
+			p.bt.AddLive(nv.Block(), int32(p.om.Size(nv)))
+		}
+		n := p.om.NumRefs(nv)
+		for i := 0; i < n; i++ {
+			slot := p.om.SlotAddr(nv, i)
+			p.logs.SetUnlogged(slot)
+			if v := p.om.A.LoadRef(slot); !v.IsNil() {
+				// Promotion scan stands in for the marking trace on
+				// this (now-marked) object: feed the mixed-collection
+				// remembered sets, or evacuation would miss the slot.
+				if (p.marking.Load() || p.markDone.Load()) && p.bt.HasFlag(v.Block(), immix.FlagDefrag) {
+					p.rem.Record(slot, v.Block())
+				}
+				w.Push(slot)
+			}
+		}
+	}
+	return nv, true
+}
+
+// startMark begins a concurrent marking cycle: liveness accounting is
+// reset, mixed-collection candidates are flagged so the trace and the
+// barrier build their remembered sets, and the tracer is seeded with the
+// roots.
+func (p *G1) startMark(rootSlots []*obj.Ref) {
+	p.marks.ClearAll()
+	p.bt.ClearLiveAll()
+	p.reuse.ResetAll()
+	// Candidates: old regions (full) — their liveness will be measured
+	// by this mark; those under 50% at mark end form the cset.
+	count := 0
+	p.bt.AllBlocks(func(idx int) {
+		if p.bt.State(idx) == immix.StateFull && p.bt.Kind(idx) == g1KindOld && count < p.bt.BudgetBlocks()/4 {
+			p.bt.SetFlag(idx, immix.FlagDefrag)
+			count++
+		}
+	})
+	p.tracer.Begin()
+	seeds := make([]obj.Ref, 0, len(rootSlots))
+	for _, s := range rootSlots {
+		seeds = append(seeds, *s)
+	}
+	p.tracer.Seed(seeds)
+	p.marking.Store(true)
+}
+
+// finishMark runs when the tracer drains: liveness figures select the
+// old collection set; regions not selected drop their defrag flag.
+func (p *G1) finishMark() {
+	p.marking.Store(false)
+	type cand struct{ idx, live int }
+	var cands []cand
+	p.bt.AllBlocks(func(idx int) {
+		if !p.bt.HasFlag(idx, immix.FlagDefrag) {
+			return
+		}
+		live := int(p.bt.Live(idx))
+		if live*2 < mem.BlockSize && p.bt.State(idx) == immix.StateFull {
+			cands = append(cands, cand{idx, live})
+		} else {
+			p.bt.ClearFlag(idx, immix.FlagDefrag)
+		}
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
+	p.csetOld = p.csetOld[:0]
+	for _, c := range cands {
+		p.csetOld = append(p.csetOld, c.idx)
+	}
+	p.tracer.Finish()
+	p.markDone.Store(true)
+}
+
+// --- concurrent mark driver ---------------------------------------------------
+
+// markController is the concurrent marking thread shared by G1 (and
+// reused by Shenandoah with different completion hooks).
+type markController struct {
+	g1 *G1
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	yield bool
+	quiet bool
+	stopd bool
+
+	idle bool // tracer drained; wait for new seeds
+
+	dirty  gcwork.SharedAddrQueue
+	satbIn gcwork.SharedAddrQueue
+
+	done chan struct{}
+}
+
+func newMarkController(p *G1) *markController {
+	c := &markController{g1: p, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *markController) start() { go c.run() }
+
+func (c *markController) stop() {
+	c.mu.Lock()
+	c.stopd = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-c.done
+}
+
+func (c *markController) quiesce() {
+	c.mu.Lock()
+	c.yield = true
+	c.cond.Broadcast()
+	for !c.quiet {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+func (c *markController) release() {
+	c.mu.Lock()
+	c.yield = false
+	c.idle = false // pauses may have seeded new trace work
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *markController) run() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for (c.yield || c.idle || !c.g1.marking.Load()) && !c.stopd {
+			c.quiet = true
+			c.cond.Broadcast()
+			c.cond.Wait()
+		}
+		if c.stopd {
+			c.quiet = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.quiet = false
+		c.mu.Unlock()
+
+		t0 := time.Now()
+		// Advance the trace; completion is decided at the next pause
+		// (the final-mark), which seeds the last captured values.
+		idle := c.g1.tracer.Step(traceQuantum)
+		c.g1.vm.Stats.AddConcurrentWork(time.Since(t0))
+		if idle {
+			// Nothing to do until a pause seeds more work.
+			c.mu.Lock()
+			c.idle = true
+			c.mu.Unlock()
+		}
+	}
+}
+
+const traceQuantum = 4096
+
+// PausesYoung returns young pause count (telemetry).
+func (p *G1) PausesYoung() int64 { return p.pausesYoung }
+
+// PausesMixed returns mixed pause count (telemetry).
+func (p *G1) PausesMixed() int64 { return p.pausesMixed }

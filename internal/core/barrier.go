@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"lxr/internal/immix"
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+// Alloc implements vm.Plan. The common case is a thread-local Immix bump
+// allocation; objects above half a block go to the large object space.
+func (p *LXR) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
+	m.Safepoint()
+	ms := m.PlanState.(*mutState)
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	for attempt := 0; ; attempt++ {
+		var a obj.Ref
+		var ok bool
+		if l.Large {
+			var addr = obj.Ref(0)
+			addr, ok = p.bt.LOS().Alloc(l.Size)
+			a = addr
+			if ok {
+				p.losNewMu.q.Push(a)
+			}
+		} else {
+			var addr = obj.Ref(0)
+			addr, ok = ms.alloc.Alloc(l.Size)
+			a = addr
+		}
+		if ok {
+			p.om.WriteHeader(a, l)
+			p.allocSince.Add(int64(l.Size))
+			p.allocObjects.Add(1)
+			return a
+		}
+		// Heap full: collect and retry. The first retry is a regular RC
+		// pause; subsequent retries force SATB completion in the pause
+		// (a "degenerate" full collection) to reclaim cycles.
+		e := p.vm.GCEpoch()
+		switch attempt {
+		case 0:
+			p.vm.CollectIfEpoch(m, e, func() { p.collectRC(pauseCauseHeapFull) })
+		case 1, 2, 3:
+			p.vm.CollectIfEpoch(m, e, func() { p.collectRC(pauseCauseEmergency) })
+		default:
+			panic(fmt.Sprintf("lxr: out of memory allocating %d bytes: %s", l.Size, p.bt))
+		}
+	}
+}
+
+// WriteRef implements vm.Plan: LXR's field-logging write barrier
+// (Fig. 3). The fast path is one metadata load; the slow path captures
+// the to-be-overwritten referent (for coalescing decrements and the SATB
+// snapshot) and the field address (for the coalescing increment at the
+// next pause), once per field per epoch. Remembered-set maintenance for
+// in-flight evacuation sets piggybacks on the store.
+func (p *LXR) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
+	ms := m.PlanState.(*mutState)
+	if verifyEnabled && !val.IsNil() {
+		if !p.plausibleRef(val) {
+			panic("lxr verify: mutator stored implausible ref")
+		}
+		if s := p.om.Size(val); s < 16 || p.om.NumRefs(val) > 8000 {
+			p.diagnoseSlot(p.om.SlotAddr(src, i), val)
+		}
+	}
+	slot := p.om.SlotAddr(src, i)
+	if p.logs.Get(slot) != 0 { // isUnlogged (or busy)
+		p.logField(ms, slot)
+	}
+	p.om.A.StoreRef(slot, val)
+	if !val.IsNil() && p.satbActive.Load() && p.om.A.Contains(val) &&
+		p.bt.HasFlag(val.Block(), immix.FlagDefrag) {
+		p.rem.Record(slot, val.Block())
+	}
+}
+
+func (p *LXR) logField(ms *mutState, slot obj.Ref) {
+	for {
+		switch p.logs.Get(slot) {
+		case 0: // logged by a racing thread; its capture is published
+			return
+		case 1: // unlogged
+			if p.logs.TryBeginLog(slot) {
+				old := p.om.A.LoadRef(slot)
+				if !old.IsNil() {
+					ms.decBuf.Push(old)
+				}
+				ms.modBuf.Push(slot)
+				p.logs.FinishLog(slot)
+				ms.slowOps++
+				p.logsSince.Add(1)
+				p.barrierSlow.Add(1)
+				return
+			}
+		default: // busy: wait for the winner to capture the old value
+		}
+	}
+}
+
+// ReadRef implements vm.Plan. LXR requires no read barrier — one of its
+// key advantages over the LVB-based concurrent copying collectors.
+func (p *LXR) ReadRef(m *vm.Mutator, src obj.Ref, i int) obj.Ref {
+	return p.om.LoadSlot(src, i)
+}
+
+// PollSafepoint implements vm.Plan: the RC trigger fast path. The
+// survival-rate trigger has been folded into a single allocation-volume
+// comparison (see recomputeAllocLimit); the increment threshold is
+// checked when configured.
+func (p *LXR) PollSafepoint(m *vm.Mutator) {
+	ms, _ := m.PlanState.(*mutState)
+	if ms != nil && ms.alloc.SinceEpoch > 0 {
+		p.allocSince.Add(0) // keep counter hot; actual adds happen in Alloc
+	}
+	due := p.allocSince.Load() >= p.allocLimit.Load()
+	if !due && p.cfg.IncrementThreshold > 0 {
+		due = p.logsSince.Load() >= p.cfg.IncrementThreshold
+	}
+	if due && p.gcScheduled.CompareAndSwap(false, true) {
+		e := p.vm.GCEpoch()
+		p.vm.CollectIfEpoch(m, e, func() { p.collectRC(pauseCauseTrigger) })
+		p.gcScheduled.Store(false)
+	}
+}
+
+// CollectNow implements vm.Plan: an explicit synchronous collection,
+// self-serialised against other collections.
+func (p *LXR) CollectNow(cause string) {
+	p.vm.RunCollection(nil, func() { p.collectRC(pauseCauseExplicit) })
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/mem"
+	"lxr/internal/obj"
+)
+
+// concurrent is LXR's single concurrent collector thread (Fig. 2). It
+// processes lazy decrements with priority, then sweeps blocks touched by
+// decrements and releases quarantined evacuation sources, then advances
+// the SATB trace. It quiesces at every stop-the-world pause so pause
+// phases own all shared collector state.
+type concurrent struct {
+	p *LXR
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	yield bool // a pause wants the thread quiescent
+	quiet bool // the thread acknowledges quiescence
+	stopd bool
+	wake  bool // work was submitted
+
+	// Mutator-overflow inboxes (also drained at pauses).
+	decs gcwork.SharedAddrQueue
+	mods gcwork.SharedAddrQueue
+
+	// State owned by the thread (pauses may touch it only while the
+	// thread is quiescent).
+	pendingDecs []mem.Address
+	recStack    []mem.Address
+	touched     map[int]struct{}
+	evacBlocks  []int // quarantined evacuation sources awaiting dec drain
+
+	// reclaimable collects blocks whose decrement-freed lines become
+	// available at the next pause. Releasing them concurrently would
+	// let an allocator reuse lines while this epoch's young objects
+	// (whose increments arrive only at the pause) still look free in
+	// the RC table.
+	reclaimable []int
+
+	done chan struct{}
+}
+
+const (
+	decChunk   = 4096 // decrements per scheduling quantum
+	traceChunk = 2048 // trace items per scheduling quantum
+)
+
+func newConcurrent(p *LXR) *concurrent {
+	c := &concurrent{p: p, touched: map[int]struct{}{}, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *concurrent) start() { go c.run() }
+
+func (c *concurrent) stop() {
+	c.mu.Lock()
+	c.stopd = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-c.done
+}
+
+// quiesce blocks until the thread is parked between work quanta. Called
+// with the world stopped, before pause phases touch collector state.
+func (c *concurrent) quiesce() {
+	c.mu.Lock()
+	c.yield = true
+	c.cond.Broadcast()
+	for !c.quiet {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// release lets the thread resume after a pause.
+func (c *concurrent) release() {
+	c.mu.Lock()
+	c.yield = false
+	c.wake = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// submitDecs hands a pause's decrement batch to the thread. Must be
+// called while quiescent.
+func (c *concurrent) submitDecs(decs []mem.Address) {
+	c.pendingDecs = append(c.pendingDecs, decs...)
+}
+
+// submitEvacBlocks quarantines evacuation source blocks until the
+// decrement queue drains.
+func (c *concurrent) submitEvacBlocks(blocks []int) {
+	c.evacBlocks = append(c.evacBlocks, blocks...)
+}
+
+// finishEvacBlocksNow releases quarantined blocks immediately (used by
+// the -LD ablation, where decrements drained inside the pause).
+func (c *concurrent) finishEvacBlocksNow() {
+	for _, b := range c.evacBlocks {
+		c.p.releaseEvacuatedBlock(b)
+	}
+	c.evacBlocks = c.evacBlocks[:0]
+}
+
+// releaseReclaimable releases everything queued by completed decrement
+// batches: dec-touched blocks and quarantined evacuation sources. Runs
+// inside a pause, while quiescent, before the young sweep.
+func (c *concurrent) releaseReclaimable() {
+	if !c.hasPendingDecs() {
+		for _, b := range c.reclaimable {
+			c.p.maybeReleaseAfterDecs(b)
+		}
+		c.reclaimable = c.reclaimable[:0]
+		c.finishEvacBlocksNow()
+	}
+}
+
+// hasPendingDecs reports whether the previous epoch's decrements are
+// still unprocessed. Must be called while quiescent.
+func (c *concurrent) hasPendingDecs() bool {
+	return len(c.pendingDecs) > 0 || len(c.recStack) > 0
+}
+
+// takePendingDecs removes the unprocessed decrements so the pause can
+// finish them. Must be called while quiescent.
+func (c *concurrent) takePendingDecs() []mem.Address {
+	out := append(c.pendingDecs, c.recStack...)
+	c.pendingDecs, c.recStack = nil, nil
+	for b := range c.touched {
+		delete(c.touched, b)
+	}
+	return out
+}
+
+func (c *concurrent) run() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for (c.yield || !c.hasWorkLocked()) && !c.stopd {
+			c.quiet = true
+			c.cond.Broadcast()
+			c.cond.Wait()
+		}
+		if c.stopd {
+			c.quiet = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.quiet = false
+		c.wake = false
+		c.mu.Unlock()
+
+		t0 := time.Now()
+		c.quantum()
+		c.p.vm.Stats.AddConcurrentWork(time.Since(t0))
+	}
+}
+
+func (c *concurrent) hasWorkLocked() bool {
+	if len(c.pendingDecs) > 0 || len(c.recStack) > 0 || len(c.touched) > 0 {
+		return true
+	}
+	return c.p.satbActive.Load() && c.p.tracer.Pending()
+}
+
+// quantum performs one bounded slice of concurrent work, highest
+// priority first: decrements, then deferred sweeping, then the trace.
+func (c *concurrent) quantum() {
+	p := c.p
+	switch {
+	case len(c.recStack) > 0 || len(c.pendingDecs) > 0:
+		for i := 0; i < decChunk; i++ {
+			var ref obj.Ref
+			if n := len(c.recStack); n > 0 {
+				ref = obj.Ref(c.recStack[n-1])
+				c.recStack = c.recStack[:n-1]
+			} else if n := len(c.pendingDecs); n > 0 {
+				ref = obj.Ref(c.pendingDecs[n-1])
+				c.pendingDecs = c.pendingDecs[:n-1]
+			} else {
+				break
+			}
+			p.applyDec(ref,
+				func(child obj.Ref) { c.recStack = append(c.recStack, child) },
+				func(b int) { c.touched[b] = struct{}{} })
+		}
+	case len(c.touched) > 0:
+		// Decrements drained: queue the touched blocks for release at
+		// the next pause (lazy reclamation, §3.3.1 — the reclaim
+		// decision is made here, the lines become allocatable at the
+		// pause so they can never race with in-flight increments).
+		for b := range c.touched {
+			c.reclaimable = append(c.reclaimable, b)
+			delete(c.touched, b)
+		}
+	default:
+		if p.satbActive.Load() {
+			p.tracer.Step(traceChunk)
+		}
+	}
+}

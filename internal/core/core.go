@@ -1,0 +1,343 @@
+// Package core implements LXR — Latency-critical Immix with Reference
+// counting (Zhao, Blackburn & McKinley, PLDI 2022) — on the simulated
+// runtime substrate.
+//
+// LXR identifies garbage primarily with coalescing deferred reference
+// counting performed in regular, brief stop-the-world pauses; reclaims
+// most memory without copying in an Immix heap; judiciously copies
+// (young evacuation on first increment, mature evacuation of sparse
+// blocks guided by RC remembered sets); detects cyclic and stuck-count
+// garbage with an occasional concurrent SATB trace that may span
+// multiple RC epochs; and processes decrements lazily on a concurrent
+// thread.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/immix"
+	"lxr/internal/mem"
+	"lxr/internal/meta"
+	"lxr/internal/obj"
+	"lxr/internal/remset"
+	"lxr/internal/satb"
+	"lxr/internal/trigger"
+	"lxr/internal/vm"
+)
+
+// Config controls an LXR instance. Zero values select the paper's
+// default configuration (§4, "LXR Configuration").
+type Config struct {
+	// HeapBytes is the heap budget.
+	HeapBytes int
+	// GCThreads sizes the parallel STW worker pool.
+	GCThreads int
+	// SurvivalThresholdBytes is the RC trigger's expected-survivor
+	// bound per epoch (the paper uses 128 MB on multi-GB heaps; default
+	// here scales with the heap: HeapBytes/8, capped at 128 MB).
+	SurvivalThresholdBytes int64
+	// IncrementThreshold bounds logged fields per epoch (0 = disabled,
+	// the paper's default).
+	IncrementThreshold int64
+	// WastageThreshold is the SATB predicted-wastage trigger (default 5%).
+	WastageThreshold float64
+	// CleanBlockThreshold is the minimum clean blocks an RC epoch must
+	// yield before the next pause starts an SATB (default: 1/16 of the
+	// heap's blocks).
+	CleanBlockThreshold int
+	// DefragOccupancy is the block-occupancy ceiling for evacuation-set
+	// candidacy (default 0.5, §3.3.2).
+	DefragOccupancy float64
+	// DefragMaxBlocks caps evacuation-set size (default: heap/16).
+	DefragMaxBlocks int
+	// RemsetRegionBlocks selects per-region remembered sets (4 MB
+	// regions = 128 blocks); 0 selects the single whole-heap set, the
+	// paper's default.
+	RemsetRegionBlocks int
+	// CleanBufferSlots sizes the lock-free clean-block buffer (default
+	// 32, the §5.4 sensitivity knob).
+	CleanBufferSlots int
+
+	// Ablations (Table 7 "Concurrency" columns).
+
+	// NoConcurrentSATB (-SATB) performs the whole trace inside the
+	// triggering pause instead of concurrently.
+	NoConcurrentSATB bool
+	// NoLazyDecrements (-LD) processes decrements inside the pause.
+	NoLazyDecrements bool
+	// NoYoungEvac disables young-object evacuation (promote in place).
+	NoYoungEvac bool
+	// NoMatureEvac disables evacuation-set defragmentation.
+	NoMatureEvac bool
+	// EnableMatureEvac opts in to evacuation-set defragmentation
+	// (§3.3.2). The mechanism is fully implemented (remembered sets,
+	// reuse-counter validation, quarantined source blocks) but on this
+	// substrate a rare interaction between concurrent tracing,
+	// same-pause promotion and block recycling can still strand a stale
+	// reference (run LXR_VERIFY=1 to observe); it therefore defaults to
+	// off, and LXR relies on young evacuation plus line recycling for
+	// defragmentation — the dominant effect in the paper's own
+	// reclamation breakdown (Table 7: geomean YC 1.1%).
+	EnableMatureEvac bool
+
+	// MaxTraceEpochs bounds how many RC epochs a single SATB trace may
+	// span before the next pause forces its completion (default 32).
+	// This is a robustness bound: traces normally complete on the
+	// concurrent thread well before it.
+	MaxTraceEpochs int
+}
+
+func (c *Config) setDefaults() {
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 64 << 20
+	}
+	if c.GCThreads == 0 {
+		c.GCThreads = 4
+	}
+	if c.SurvivalThresholdBytes == 0 {
+		c.SurvivalThresholdBytes = int64(c.HeapBytes) / 8
+		if c.SurvivalThresholdBytes > 128<<20 {
+			c.SurvivalThresholdBytes = 128 << 20
+		}
+	}
+	if c.WastageThreshold == 0 {
+		c.WastageThreshold = 0.05
+	}
+	heapBlocks := c.HeapBytes / mem.BlockSize
+	if c.CleanBlockThreshold == 0 {
+		c.CleanBlockThreshold = heapBlocks / 16
+		if c.CleanBlockThreshold < 2 {
+			c.CleanBlockThreshold = 2
+		}
+	}
+	if c.DefragOccupancy == 0 {
+		c.DefragOccupancy = 0.5
+	}
+	if c.DefragMaxBlocks == 0 {
+		c.DefragMaxBlocks = heapBlocks / 16
+		if c.DefragMaxBlocks < 4 {
+			c.DefragMaxBlocks = 4
+		}
+	}
+	if c.MaxTraceEpochs == 0 {
+		c.MaxTraceEpochs = 32
+	}
+}
+
+// LXR is the collector plan.
+type LXR struct {
+	cfg Config
+
+	bt       *immix.BlockTable
+	om       obj.Model
+	rc       *meta.RCTable
+	straddle *meta.BitTable // granule: straddle marker, not an object start
+	logs     *meta.FieldLogTable
+	marks    *meta.BitTable // granule: SATB mark bits
+	visited  *meta.BitTable // granule: evacuation-trace visited bits
+	reuse    *meta.LineCounters
+	rem      *remset.Table
+	tracer   *satb.Tracer
+	pool     *gcwork.Pool
+	vm       *vm.VM
+
+	rcTrig   *trigger.RCTrigger
+	satbTrig *trigger.SATBTrigger
+
+	// Epoch counters polled by the trigger fast path.
+	allocSince  atomic.Int64 // bytes allocated since last pause
+	allocLimit  atomic.Int64 // allocSince value that triggers a pause
+	logsSince   atomic.Int64 // barrier slow paths since last pause
+	gcScheduled atomic.Bool
+
+	// satbActive is true from the pause that seeds a trace until the
+	// pause that completes reclamation for it.
+	satbActive atomic.Bool
+
+	evacSet     []int // blocks flagged FlagDefrag for the current trace
+	traceEpochs int   // RC epochs the current trace has spanned
+
+	// Flushed-at-pause queues.
+	losNewMu struct{ q gcwork.SharedAddrQueue } // large objects allocated this epoch
+	rootDecs []obj.Ref                          // deferred root decrements for next epoch
+
+	conc *concurrent
+
+	// Per-pause scratch (valid only during a pause).
+	rootSlots []*obj.Ref
+	survived  atomic.Int64 // young bytes surviving this epoch
+	copiedY   atomic.Int64 // young bytes evacuated this epoch
+	promoted  atomic.Int64 // young objects promoted this epoch
+
+	epoch atomic.Uint64 // completed RC epochs
+
+	allocObjects atomic.Int64 // objects allocated since last pause (telemetry)
+	barrierSlow  atomic.Int64 // barrier slow paths since last pause (telemetry)
+
+	// Debug provenance (LXR_VERIFY only).
+	provMu   sync.Mutex
+	prov     map[int]blockProvenance
+	lineProv map[int]blockProvenance // per-line span handouts
+	blockLog map[int][]blockEvent    // per-block lifecycle events
+}
+
+// New creates an LXR plan.
+func New(cfg Config) *LXR {
+	cfg.setDefaults()
+	bt := immix.NewBlockTable(immix.Config{
+		HeapBytes:        cfg.HeapBytes,
+		CleanBufferSlots: cfg.CleanBufferSlots,
+	})
+	p := &LXR{
+		cfg:      cfg,
+		bt:       bt,
+		om:       obj.Model{A: bt.Arena},
+		rc:       meta.NewRCTable(bt.Arena),
+		straddle: meta.NewBitTable(bt.Arena, mem.GranuleLog),
+		logs:     meta.NewFieldLogTable(bt.Arena),
+		marks:    meta.NewBitTable(bt.Arena, mem.GranuleLog),
+		visited:  meta.NewBitTable(bt.Arena, mem.GranuleLog),
+		reuse:    meta.NewLineCounters(bt.Arena),
+		pool:     gcwork.NewPool(cfg.GCThreads),
+	}
+	// Fresh large objects must start with clean side metadata: stale
+	// field-log states from a previous occupant would corrupt coalescing
+	// (a stale Busy state would even hang the barrier).
+	bt.LOS().OnAlloc = func(start, end mem.Address) {
+		p.logs.ClearRange(start, end)
+		p.straddle.ClearRange(start, end)
+		p.marks.ClearRange(start, end)
+	}
+	p.rem = remset.NewTable(p.reuse, cfg.RemsetRegionBlocks)
+	p.tracer = &satb.Tracer{
+		OM:    p.om,
+		Marks: p.marks,
+		// Mature-only SATB: skip unpromoted objects (zero RC) and
+		// straddle markers, which are not object starts (§3.2.2). The
+		// plausibility check shields the tracer from stale queue
+		// entries whose memory has been reclaimed and reused.
+		Filter: func(r obj.Ref) bool {
+			return p.plausibleRef(r) && p.rc.Get(r) != 0 && !p.straddle.Get(r) && p.saneRef(r)
+		},
+		OnEdge: func(slot mem.Address, v obj.Ref) {
+			if p.bt.HasFlag(v.Block(), immix.FlagDefrag) {
+				p.rem.Record(slot, v.Block())
+			}
+		},
+	}
+	p.rcTrig = trigger.NewRCTrigger(cfg.SurvivalThresholdBytes)
+	p.satbTrig = trigger.NewSATBTrigger(bt.BudgetBlocks(), cfg.CleanBlockThreshold, cfg.WastageThreshold)
+	p.recomputeAllocLimit()
+	p.installBlockTrace()
+	p.conc = newConcurrent(p)
+	return p
+}
+
+// matureEvacOn reports whether evacuation-set defragmentation is active.
+func (c *Config) matureEvacOn() bool { return c.EnableMatureEvac && !c.NoMatureEvac }
+
+// Name implements vm.Plan.
+func (p *LXR) Name() string {
+	switch {
+	case p.cfg.NoConcurrentSATB && p.cfg.NoLazyDecrements:
+		return "LXR-STW"
+	case p.cfg.NoConcurrentSATB:
+		return "LXR-SATB"
+	case p.cfg.NoLazyDecrements:
+		return "LXR-LD"
+	}
+	return "LXR"
+}
+
+// Arena implements vm.Plan.
+func (p *LXR) Arena() *mem.Arena { return p.bt.Arena }
+
+// Boot implements vm.Plan.
+func (p *LXR) Boot(v *vm.VM) {
+	p.vm = v
+	p.conc.start()
+}
+
+// Shutdown implements vm.Plan.
+func (p *LXR) Shutdown() { p.conc.stop() }
+
+// Epoch returns the number of completed RC epochs.
+func (p *LXR) Epoch() uint64 { return p.epoch.Load() }
+
+// BlockTable exposes the heap for tests and the harness.
+func (p *LXR) BlockTable() *immix.BlockTable { return p.bt }
+
+// RC exposes the reference-count table for tests.
+func (p *LXR) RC() *meta.RCTable { return p.rc }
+
+// recomputeAllocLimit derives the allocation volume at which the
+// survival-rate trigger fires: the predictor turns "bound expected
+// survivors" into an allocation budget checked with one atomic load.
+func (p *LXR) recomputeAllocLimit() {
+	s := p.rcTrig.Survival.Predict()
+	if s < 0.005 {
+		s = 0.005
+	}
+	limit := int64(float64(p.cfg.SurvivalThresholdBytes) / s)
+	// Never let the trigger exceed half the heap between pauses.
+	if max := int64(p.cfg.HeapBytes) / 2; limit > max {
+		limit = max
+	}
+	p.allocLimit.Store(limit)
+}
+
+// --- mutator state -----------------------------------------------------------
+
+type mutState struct {
+	alloc   immix.Allocator
+	decBuf  gcwork.AddrBuffer // overwritten referents (coalescing decs + SATB snapshot)
+	modBuf  gcwork.AddrBuffer // logged field addresses (coalescing incs)
+	lxr     *LXR
+	slowOps int64
+}
+
+// lineMap adapts the RC table (plus straddle markers, which keep their
+// lines' RC words non-zero) to the allocator's free-line query.
+type lineMap struct{ rc *meta.RCTable }
+
+func (l lineMap) LineFree(idx int) bool { return l.rc.LineFree(idx) }
+
+// BindMutator implements vm.Plan.
+func (p *LXR) BindMutator(m *vm.Mutator) {
+	ms := &mutState{lxr: p}
+	ms.alloc = immix.Allocator{
+		BT:          p.bt,
+		Lines:       lineMap{p.rc},
+		UseRecycled: true,
+		OnSpan:      p.onSpan,
+	}
+	m.PlanState = ms
+}
+
+// UnbindMutator implements vm.Plan.
+func (p *LXR) UnbindMutator(m *vm.Mutator) {
+	ms := m.PlanState.(*mutState)
+	ms.alloc.Flush()
+	// Buffers are drained at the next pause via the shared queues.
+	p.conc.decs.Append(ms.decBuf.Take())
+	p.conc.mods.Append(ms.modBuf.Take())
+	m.PlanState = nil
+}
+
+// onSpan prepares a span handed to a bump allocator: reused lines get
+// their reuse counters bumped (remset staleness guard) and all metadata
+// cleared so new objects start with Logged fields, no straddle markers
+// and no stale marks.
+func (p *LXR) onSpan(start, end mem.Address, recycled bool) {
+	if recycled {
+		p.reuse.BumpRange(start, end)
+	}
+	if verifyEnabled {
+		p.noteSpan(start, end, recycled)
+	}
+	p.logs.ClearRange(start, end)
+	p.straddle.ClearRange(start, end)
+	p.marks.ClearRange(start, end)
+}

@@ -1,0 +1,267 @@
+package core_test
+
+import (
+	"testing"
+
+	"lxr/internal/core"
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+// newVM builds a small-heap LXR VM for tests.
+func newVM(t *testing.T, cfg core.Config) *vm.VM {
+	t.Helper()
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 8 << 20
+	}
+	if cfg.GCThreads == 0 {
+		cfg.GCThreads = 2
+	}
+	v := vm.New(core.New(cfg), 16)
+	t.Cleanup(v.Shutdown)
+	return v
+}
+
+// buildList creates a singly linked list of n nodes; node payload word 0
+// holds its position. Returns the head. Uses root slot 0 as scratch.
+func buildList(m *vm.Mutator, n int) obj.Ref {
+	var head obj.Ref
+	for i := n - 1; i >= 0; i-- {
+		node := m.Alloc(1, 1, 8)
+		m.WritePayload(node, 0, uint64(i))
+		if !head.IsNil() {
+			m.Store(node, 0, head)
+		}
+		head = node
+		m.Roots[0] = head // keep reachable across safepoints
+	}
+	return head
+}
+
+// checkList verifies a list built by buildList.
+func checkList(t *testing.T, m *vm.Mutator, head obj.Ref, n int) {
+	t.Helper()
+	cur := head
+	for i := 0; i < n; i++ {
+		if cur.IsNil() {
+			t.Fatalf("list truncated at %d/%d", i, n)
+		}
+		if got := m.ReadPayload(cur, 0); got != uint64(i) {
+			t.Fatalf("node %d: payload %d", i, got)
+		}
+		cur = m.Load(cur, 0)
+	}
+	if !cur.IsNil() {
+		t.Fatalf("list longer than %d", n)
+	}
+}
+
+func TestSurvivorsIntactAcrossEpochs(t *testing.T) {
+	v := newVM(t, core.Config{})
+	m := v.RegisterMutator(8)
+	defer m.Deregister()
+
+	head := buildList(m, 2000)
+	m.Roots[1] = head
+	// Churn garbage to force several RC epochs.
+	for i := 0; i < 200000; i++ {
+		g := m.Alloc(1, 1, 24)
+		m.Roots[2] = g
+	}
+	m.Roots[2] = 0
+	m.RequestGC()
+	head = m.Roots[1] // may have been evacuated
+	checkList(t, m, head, 2000)
+	if got := v.Stats.Counter(core.CtrPauses); got < 2 {
+		t.Fatalf("expected multiple RC pauses, got %d", got)
+	}
+}
+
+func TestYoungBlocksReclaimedWithoutDecrements(t *testing.T) {
+	v := newVM(t, core.Config{})
+	m := v.RegisterMutator(4)
+	defer m.Deregister()
+
+	// Pure garbage: everything dies young.
+	for i := 0; i < 300000; i++ {
+		m.Roots[0] = m.Alloc(2, 2, 48)
+	}
+	m.Roots[0] = 0
+	m.RequestGC()
+	m.RequestGC()
+	st := v.Stats
+	if st.Counter(core.CtrYoungFreeBlk) == 0 {
+		t.Fatal("young sweep yielded no clean blocks")
+	}
+	// Nearly everything should be reclaimed via the implicitly dead
+	// path: survivors should be a tiny fraction of allocation.
+	alloc := st.Counter(core.CtrAllocBytes)
+	surv := st.Counter(core.CtrSurvivedBytes)
+	if surv*10 > alloc {
+		t.Fatalf("survival too high: %d of %d bytes", surv, alloc)
+	}
+}
+
+func TestMatureReclamationViaDecrements(t *testing.T) {
+	v := newVM(t, core.Config{})
+	m := v.RegisterMutator(4)
+	defer m.Deregister()
+
+	// Build mature objects (survive one GC), then drop them and verify
+	// RC mature reclamation kicks in. Keep the head's reference count
+	// under the 2-bit stuck limit: at most two references at any pause.
+	head := buildList(m, 5000)
+	m.Roots[1] = head
+	m.Roots[0] = 0
+	m.RequestGC() // promotes the list
+	// Hold the list in a heap object so dropping it generates logged
+	// overwrites (root decrements alone would also work, but this
+	// exercises the write barrier path).
+	holder := m.Alloc(1, 1, 8)
+	m.Store(holder, 0, m.Roots[1])
+	m.Roots[2] = holder
+	m.Roots[0], m.Roots[1] = 0, 0
+	m.RequestGC()       // roots re-scanned; holder keeps list alive
+	holder = m.Roots[2] // holder may have been evacuated: reload the "register"
+	m.Store(holder, 0, 0)
+	m.RequestGC() // dec enqueued for old head
+	m.RequestGC() // lazy decs from previous epoch completed by now
+	m.RequestGC()
+	if got := v.Stats.Counter(core.CtrDeadOld); got < 4000 {
+		t.Fatalf("mature RC reclaimed only %d objects", got)
+	}
+}
+
+func TestCycleReclamationViaSATB(t *testing.T) {
+	v := newVM(t, core.Config{CleanBlockThreshold: 1 << 30}) // force SATB every pause
+	m := v.RegisterMutator(4)
+	defer m.Deregister()
+
+	// Build a cycle, promote it, drop it: RC cannot reclaim it.
+	a := m.Alloc(1, 1, 8)
+	m.Roots[0] = a
+	b := m.Alloc(1, 1, 8)
+	m.Roots[1] = b
+	m.Store(a, 0, b)
+	m.Store(b, 0, a)
+	m.RequestGC() // promote
+	a, b = m.Roots[0], m.Roots[1]
+	m.Roots[0], m.Roots[1] = 0, 0
+	deadBefore := v.Stats.Counter(core.CtrDeadSATB)
+	for i := 0; i < 24 && v.Stats.Counter(core.CtrDeadSATB) == deadBefore; i++ {
+		// Mutator work between pauses gives the concurrent thread time
+		// to advance the trace, as in a real execution.
+		for j := 0; j < 20000; j++ {
+			m.Roots[3] = m.Alloc(1, 1, 16)
+		}
+		m.Roots[3] = 0
+		m.RequestGC()
+	}
+	if v.Stats.Counter(core.CtrDeadSATB) == deadBefore {
+		t.Fatal("SATB never reclaimed the dead cycle")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, cfg := range []core.Config{
+		{NoConcurrentSATB: true},
+		{NoLazyDecrements: true},
+		{NoConcurrentSATB: true, NoLazyDecrements: true},
+		{NoYoungEvac: true},
+		{NoMatureEvac: true},
+	} {
+		cfg := cfg
+		v := newVM(t, cfg)
+		m := v.RegisterMutator(4)
+		head := buildList(m, 1000)
+		m.Roots[1] = head
+		for i := 0; i < 100000; i++ {
+			m.Roots[2] = m.Alloc(1, 1, 16)
+		}
+		m.RequestGC()
+		checkList(t, m, m.Roots[1], 1000)
+		m.Deregister()
+		v.Shutdown()
+	}
+}
+
+func TestLargeObjects(t *testing.T) {
+	v := newVM(t, core.Config{})
+	m := v.RegisterMutator(4)
+	defer m.Deregister()
+
+	big := m.Alloc(1, 2, 40<<10) // > 16 KB: large object space
+	m.WritePayload(big, 0, 0xdeadbeef)
+	m.Roots[0] = big
+	small := m.Alloc(0, 0, 8)
+	m.Store(big, 0, small)
+	m.Roots[1] = 0
+	m.RequestGC()
+	big = m.Roots[0]
+	if m.ReadPayload(big, 0) != 0xdeadbeef {
+		t.Fatal("large object payload corrupted")
+	}
+	if m.Load(big, 0).IsNil() {
+		t.Fatal("large object's referent lost")
+	}
+	// Drop it; large young garbage and mature large objects must both
+	// be reclaimed eventually.
+	losBefore := core.New // placeholder to keep imports tidy
+	_ = losBefore
+	m.Roots[0] = 0
+	for i := 0; i < 4; i++ {
+		m.RequestGC()
+	}
+	for i := 0; i < 50; i++ { // large garbage allocated and dropped
+		m.Roots[2] = m.Alloc(0, 0, 20<<10)
+	}
+	m.Roots[2] = 0
+	m.RequestGC()
+	m.RequestGC()
+}
+
+func TestMultiMutatorChurn(t *testing.T) {
+	v := newVM(t, core.Config{HeapBytes: 16 << 20, GCThreads: 4})
+	const workers = 4
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			m := v.RegisterMutator(8)
+			defer m.Deregister()
+			head := buildList(m, 500)
+			m.Roots[1] = head
+			for i := 0; i < 150000; i++ {
+				g := m.Alloc(2, 2, 32)
+				m.Store(g, 0, m.Roots[1]) // point into the list
+				m.Roots[2] = g
+			}
+			cur := m.Roots[1]
+			for i := 0; i < 500; i++ {
+				if cur.IsNil() {
+					done <- errTruncated
+					return
+				}
+				if m.ReadPayload(cur, 0) != uint64(i) {
+					done <- errCorrupt
+					return
+				}
+				cur = m.Load(cur, 0)
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }
+
+const (
+	errTruncated = strErr("list truncated")
+	errCorrupt   = strErr("list corrupted")
+)

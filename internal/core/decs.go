@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/immix"
+	"lxr/internal/mem"
+	"lxr/internal/obj"
+)
+
+// decDeath handles an object whose count reached zero: it upholds the
+// SATB interruption invariant (never delete an unmarked object while a
+// trace is underway — mark and scan it first, §3.2.2), pushes recursive
+// decrements for its referents, and reclaims its memory.
+// pushRec receives child references; record receives the touched block.
+func (p *LXR) decDeath(ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
+	p.vm.Stats.Add(CtrDeadOld, 1)
+	if p.satbActive.Load() && !p.marks.Get(ref) {
+		p.marks.Set(ref)
+		// Scan into the SATB trace before the memory can be reclaimed;
+		// seeds go through the tracer's thread-safe inbox so both the
+		// concurrent thread and in-pause parallel workers may use this.
+		p.om.EachSlot(ref, func(_ int, _ mem.Address, v obj.Ref) {
+			if !v.IsNil() {
+				p.tracer.SeedOne(v)
+			}
+		})
+	}
+	p.om.EachSlot(ref, func(_ int, _ mem.Address, v obj.Ref) {
+		if !v.IsNil() {
+			pushRec(v)
+		}
+	})
+	if p.om.IsLarge(ref) {
+		p.rc.Set(ref, 0)
+		p.bt.LOS().Free(ref)
+		return
+	}
+	p.reclaimObjectMeta(ref)
+	record(ref.Block())
+}
+
+// applyDec applies one decrement (following forwarding installed by
+// evacuation) and performs death processing on a 1→0 transition.
+func (p *LXR) applyDec(ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
+	if !p.plausibleRef(ref) {
+		p.vm.Stats.Add(CtrDefensiveSkip, 1)
+		return
+	}
+	ref = p.om.Resolve(ref)
+	if !p.saneRef(ref) {
+		p.vm.Stats.Add(CtrDefensiveSkip, 1)
+		return
+	}
+	p.vm.Stats.Add(CtrDecrements, 1)
+	if old := p.rc.Dec(ref); old == 1 {
+		p.decDeath(ref, pushRec, record)
+	}
+}
+
+// processDecsInPause drains a decrement batch with the parallel worker
+// pool (used by the -LD ablation and when a pause catches unfinished
+// lazy decrements).
+func (p *LXR) processDecsInPause(decs []mem.Address) {
+	if len(decs) == 0 {
+		return
+	}
+	var mu sync.Mutex
+	touched := map[int]struct{}{}
+	p.pool.Drain(decs,
+		func(w *gcwork.Worker) { w.Scratch = map[int]struct{}{} },
+		func(w *gcwork.Worker, a mem.Address) {
+			local := w.Scratch.(map[int]struct{})
+			p.applyDec(obj.Ref(a),
+				func(c obj.Ref) { w.Push(c) },
+				func(b int) { local[b] = struct{}{} })
+		},
+		func(w *gcwork.Worker) {
+			mu.Lock()
+			for b := range w.Scratch.(map[int]struct{}) {
+				touched[b] = struct{}{}
+			}
+			mu.Unlock()
+		})
+	for b := range touched {
+		p.maybeReleaseAfterDecs(b)
+	}
+}
+
+// maybeReleaseAfterDecs re-examines a block in which decrements freed
+// objects (lazy reclamation, §3.3.1). Only full, unlisted, unquarantined
+// blocks change state.
+func (p *LXR) maybeReleaseAfterDecs(idx int) {
+	if p.bt.State(idx) != immix.StateFull {
+		return
+	}
+	// Quarantined evacuation sources, blocks with fresh allocation, and
+	// evacuation-set candidates (whose remembered sets assume a stable
+	// population) are all excluded from lazy reclamation.
+	if p.bt.HasFlag(idx, immix.FlagEvacuating) || p.bt.HasFlag(idx, immix.FlagDirty) || p.bt.HasFlag(idx, immix.FlagDefrag) {
+		return
+	}
+	switch p.classifyBlock(idx) {
+	case blockEmpty:
+		p.noteFree(idx, "lazydecs")
+		p.bt.ReleaseFree(idx)
+	case blockPartial:
+		p.bt.ReleaseRecycled(idx)
+	}
+}
+
+// releaseEvacuatedBlock returns an evacuation-set source block to
+// service once pending decrements (which may need its forwarding
+// pointers) have drained.
+func (p *LXR) releaseEvacuatedBlock(idx int) {
+	p.bt.ClearFlag(idx, immix.FlagEvacuating|immix.FlagDefrag)
+	if p.bt.State(idx) != immix.StateFull {
+		return
+	}
+	switch p.classifyBlock(idx) {
+	case blockEmpty:
+		p.noteFree(idx, "evac")
+		p.bt.ReleaseFree(idx)
+	case blockPartial:
+		p.bt.ReleaseRecycled(idx)
+	}
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/immix"
+	"lxr/internal/mem"
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+// Pause causes.
+const (
+	pauseCauseTrigger   = "trigger"   // survival/increment trigger
+	pauseCauseHeapFull  = "heap-full" // allocation failure
+	pauseCauseEmergency = "emergency" // allocation failure persisting: force full cycle
+	pauseCauseExplicit  = "explicit"
+)
+
+// rootTag marks work items that index rootSlots rather than being heap
+// slot addresses (bit 63 can never be a valid arena offset).
+const rootTag mem.Address = 1 << 63
+
+// Telemetry counter names (vm.Stats).
+const (
+	CtrPauses         = "lxr.pauses"
+	CtrPausesSATB     = "lxr.pauses.satb"      // pauses that started an SATB trace
+	CtrPausesLazy     = "lxr.pauses.lazy"      // pauses that had to finish lazy decrements
+	CtrBarrierSlow    = "lxr.barrier.slow"     // field-logging slow paths
+	CtrIncrements     = "lxr.increments"       // increments applied
+	CtrDecrements     = "lxr.decrements"       // decrements applied
+	CtrPromoted       = "lxr.promoted"         // young objects surviving
+	CtrAllocObjects   = "lxr.alloc.objects"    // objects allocated
+	CtrDeadOld        = "lxr.dead.old"         // mature objects reclaimed by RC
+	CtrDeadSATB       = "lxr.dead.satb"        // mature objects reclaimed by SATB
+	CtrStuck          = "lxr.stuck"            // counts that stuck at max
+	CtrYoungEvacBytes = "lxr.evac.young.bytes" // young bytes copied
+	CtrMatureEvacObjs = "lxr.evac.mature"      // mature objects copied
+	CtrYoungFreeBlk   = "lxr.young.freeblocks" // clean blocks from young sweeps
+	CtrSurvivedBytes  = "lxr.survived.bytes"
+	CtrAllocBytes     = "lxr.alloc.bytes"
+	CtrDefensiveSkip  = "lxr.defensive.skips" // implausible slot values filtered
+)
+
+// collectRC performs one RC epoch: a brief stop-the-world pause that
+// applies increments (evacuating surviving young objects), sweeps young
+// blocks, manages the SATB trace lifecycle, and hands decrements to the
+// concurrent thread.
+func (p *LXR) collectRC(cause string) {
+	dur := p.vm.StopTheWorld("rc", func() {
+		p.conc.quiesce()
+		defer p.conc.release()
+		p.pausePipeline(cause)
+	})
+	// Approximate collector cycles: the pause occupies the GC worker
+	// pool (LBO's "total cycles" metric, Fig. 7b).
+	p.vm.Stats.AddGCWork(dur * time.Duration(p.pool.N))
+}
+
+func (p *LXR) pausePipeline(cause string) {
+	st := p.vm.Stats
+	st.Add(CtrPauses, 1)
+
+	// 1. Flush mutator state: thread-local allocators (their bump spans
+	// may be reclaimed below) and barrier buffers.
+	var decSeeds, modSlots []mem.Address
+	p.vm.EachMutator(func(m *vm.Mutator) {
+		ms := m.PlanState.(*mutState)
+		ms.alloc.Flush()
+		ms.alloc.HarvestSinceEpoch()
+		decSeeds = ms.decBuf.TakeInto(decSeeds)
+		modSlots = ms.modBuf.TakeInto(modSlots)
+	})
+	decSeeds = append(decSeeds, p.conc.decs.Take()...)
+	modSlots = append(modSlots, p.conc.mods.Take()...)
+	allocVol := p.allocSince.Swap(0)
+	p.logsSince.Store(0)
+	st.Add(CtrAllocBytes, allocVol)
+	st.Add(CtrAllocObjects, p.allocObjects.Swap(0))
+	st.Add(CtrBarrierSlow, p.barrierSlow.Swap(0))
+
+	// 2. Finish unfinished lazy decrements first (§3.2.1): if the
+	// previous epoch's decrements have not drained, the pause completes
+	// them before anything else.
+	if p.conc.hasPendingDecs() {
+		st.Add(CtrPausesLazy, 1)
+		p.processDecsInPause(p.conc.takePendingDecs())
+	}
+
+	// 3. SATB seeding and (maybe) completion. decSeeds are the
+	// overwritten referents: both RC decrements and SATB snapshot edges
+	// (§3.2.2). The trace completes in the pause that finds the tracer
+	// idle — by then every snapshot edge captured up to the previous
+	// epoch has been traced, and this pause's captures drain in a short
+	// parallel final mark.
+	traceComplete := false
+	if p.satbActive.Load() {
+		p.traceEpochs++
+		wasIdle := !p.tracer.Pending()
+		p.tracer.Seed(decSeeds)
+		if wasIdle || p.cfg.NoConcurrentSATB || cause == pauseCauseEmergency ||
+			p.traceEpochs >= p.cfg.MaxTraceEpochs {
+			p.tracer.DrainParallel(p.pool)
+			traceComplete = true
+		}
+	}
+
+	// 4. Increments: roots (deferral) and modified fields (coalescing),
+	// with recursive increments into surviving young objects, which are
+	// evacuated on their first increment (§3.3.2).
+	p.survived.Store(0)
+	p.copiedY.Store(0)
+	p.promoted.Store(0)
+	p.collectRootSlots()
+	items := modSlots
+	for i := range p.rootSlots {
+		items = append(items, rootTag|mem.Address(i))
+	}
+	p.drainIncrements(items)
+
+	// 5. Deferred root decrements: last epoch's root referents receive
+	// decrements now; this epoch's roots are buffered for the next.
+	decs := append(decSeeds, refsToAddrs(p.rootDecs)...)
+	p.rootDecs = p.rootDecs[:0]
+	for _, s := range p.rootSlots {
+		if !(*s).IsNil() {
+			p.rootDecs = append(p.rootDecs, *s)
+		}
+	}
+
+	// 5b. Release the blocks the concurrent thread's completed
+	// decrement batches freed (and evacuation sources whose forwarding
+	// pointers are no longer needed). Done here — not concurrently — so
+	// freed lines can never be reused before this pause's increments
+	// have protected every surviving young object.
+	p.conc.releaseReclaimable()
+
+	// 6. Young sweep: blocks allocated into this epoch. Blocks whose
+	// lines carry no reference counts are entirely dead young objects
+	// and are reclaimed immediately — before any decrement is processed
+	// (the implicitly-dead optimisation, §3.3.1).
+	cleanYielded := p.sweepYoung()
+	p.sweepNewLarge()
+
+	// 7. SATB completion: reclaim unmarked matures, then defragment the
+	// evacuation sets using the remembered sets bootstrapped by the
+	// trace (§3.3.2).
+	if traceComplete {
+		p.finalizeSATB()
+	}
+
+	// 8. Triggers.
+	survived := p.survived.Load()
+	st.Add(CtrSurvivedBytes, survived)
+	p.rcTrig.ObserveSurvival(allocVol, survived)
+	p.recomputeAllocLimit()
+	if !p.satbActive.Load() &&
+		p.satbTrig.ShouldStartTrace(cleanYielded, p.bt.InUseBlocks()) {
+		p.startSATB()
+		st.Add(CtrPausesSATB, 1)
+		if p.cfg.NoConcurrentSATB {
+			// -SATB ablation: the whole trace (and its reclamation)
+			// happens inside this pause.
+			p.tracer.DrainParallel(p.pool)
+			p.finalizeSATB()
+		}
+	}
+
+	// 9. Hand decrements over: lazily to the concurrent thread, or — for
+	// the -LD ablation — processed right here.
+	if p.cfg.NoLazyDecrements {
+		p.processDecsInPause(decs)
+		p.conc.finishEvacBlocksNow()
+	} else {
+		p.conc.submitDecs(decs)
+	}
+	p.verifyHeap("end")
+	p.epoch.Add(1)
+}
+
+func refsToAddrs(rs []obj.Ref) []mem.Address {
+	out := make([]mem.Address, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// collectRootSlots gathers pointers to every root slot (mutator shadow
+// stacks and globals) so increment processing can redirect them when the
+// referent is evacuated.
+func (p *LXR) collectRootSlots() {
+	p.rootSlots = p.rootSlots[:0]
+	p.vm.EachMutator(func(m *vm.Mutator) {
+		for i := range m.Roots {
+			if !m.Roots[i].IsNil() {
+				p.rootSlots = append(p.rootSlots, &m.Roots[i])
+			}
+		}
+	})
+	g := p.vm.Globals
+	for i := range g {
+		if !g[i].IsNil() {
+			p.rootSlots = append(p.rootSlots, &g[i])
+		}
+	}
+}
+
+// --- increment processing -----------------------------------------------------
+
+// drainIncrements processes the increment closure in parallel. Work
+// items are either heap slot addresses (from the modified-field buffer
+// or from scanning newly promoted objects) or rootTag-tagged root
+// indices. Each worker owns a survivor copy allocator so young
+// evacuation needs no locking.
+func (p *LXR) drainIncrements(items []mem.Address) {
+	incs := int64(0)
+	p.pool.Drain(items,
+		func(w *gcwork.Worker) {
+			w.Scratch = &immix.Allocator{
+				BT:          p.bt,
+				Lines:       lineMap{p.rc},
+				UseRecycled: true, // survivors compact into partially free blocks
+				OnSpan:      p.onSpan,
+			}
+		},
+		func(w *gcwork.Worker, item mem.Address) {
+			if item&rootTag != 0 {
+				slot := p.rootSlots[int(item&^rootTag)]
+				if v := *slot; !v.IsNil() && !p.saneRef(v) {
+					p.vm.Stats.Add(CtrDefensiveSkip, 1)
+					return
+				}
+				p.applyInc(w, func() obj.Ref { return *slot }, func(v obj.Ref) { *slot = v })
+			} else {
+				p.logs.SetUnlogged(item) // re-arm the barrier for this field
+				if verifyEnabled {
+					if v := p.om.A.LoadRef(item); !v.IsNil() {
+						if !p.plausibleRef(v) {
+							p.diagnoseSlot(item, v)
+						} else if s := p.om.Size(v); s < 16 || (s > 16<<10 && !p.om.IsLarge(v)) || p.om.NumRefs(v) > 8000 {
+							p.diagnoseSlot(item, v)
+						}
+					}
+				}
+				p.applyInc(w,
+					func() obj.Ref { return p.om.A.LoadRef(item) },
+					func(v obj.Ref) { p.om.A.StoreRef(item, v) })
+			}
+		},
+		func(w *gcwork.Worker) {
+			w.Scratch.(*immix.Allocator).Flush()
+		})
+	p.vm.Stats.Add(CtrIncrements, incs+int64(len(items)))
+}
+
+// applyInc applies one coalesced increment to the referent of a slot,
+// promoting (and opportunistically evacuating) young objects receiving
+// their first increment. get/set abstract the slot so heap slots and
+// root slots share the logic.
+func (p *LXR) applyInc(w *gcwork.Worker, get func() obj.Ref, set func(obj.Ref)) {
+	val := get()
+	if val.IsNil() {
+		return
+	}
+	for {
+		fw := p.om.ForwardingWord(val)
+		switch fw & 3 {
+		case obj.FwdForwarded:
+			nv := obj.Ref(fw >> 2)
+			set(nv)
+			p.incEstablished(nv)
+			return
+		case obj.FwdBusy:
+			continue // another worker is copying; spin until published
+		}
+		if p.rc.Get(val) == 0 {
+			if !p.saneRef(val) {
+				p.vm.Stats.Add(CtrDefensiveSkip, 1)
+				return
+			}
+			// Young object receiving its 0→1 increment (§3.3.2): it is
+			// promoted now, and — when it sits in an all-young block and
+			// space permits — evacuated.
+			if p.youngEvacCandidate(val) {
+				if !p.om.TryClaimForwarding(val) {
+					continue // racing promoter; spin
+				}
+				if p.rc.Get(val) != 0 { // raced with in-place promotion
+					p.om.AbandonForwarding(val)
+					continue
+				}
+				size := p.om.Size(val)
+				sa := w.Scratch.(*immix.Allocator)
+				if dst, ok := sa.Alloc(size); ok {
+					p.om.CopyTo(val, dst)
+					p.rc.Inc(dst)
+					p.finishPromotion(w, dst, true)
+					p.om.InstallForwarding(val, dst)
+					set(dst)
+					return
+				}
+				// No space: increment in place before abandoning the
+				// claim so racing claimants observe a non-zero count.
+				p.rc.Inc(val)
+				p.finishPromotion(w, val, false)
+				p.om.AbandonForwarding(val)
+				return
+			}
+			if old := p.rc.Inc(val); old == 0 {
+				p.finishPromotion(w, val, false)
+			} else {
+				p.noteStuck(old)
+			}
+			return
+		}
+		p.noteStuck(p.rc.Inc(val))
+		return
+	}
+}
+
+func (p *LXR) incEstablished(val obj.Ref) {
+	p.noteStuck(p.rc.Inc(val))
+}
+
+func (p *LXR) noteStuck(old uint32) {
+	if old == 2 { // 2→3 transition pins the count
+		p.vm.Stats.Add(CtrStuck, 1)
+	}
+}
+
+// youngEvacCandidate reports whether ref sits in a block containing only
+// young objects (clean when handed to an allocator this epoch): the
+// all-young evacuation heuristic (§3.3.2).
+func (p *LXR) youngEvacCandidate(ref obj.Ref) bool {
+	if p.cfg.NoYoungEvac || p.om.IsLarge(ref) {
+		return false
+	}
+	return p.bt.HasFlag(ref.Block(), immix.FlagYoung)
+}
+
+// finishPromotion performs the duties owed to a young object surviving
+// its first collection, at its final address: account survival, write
+// straddle-line markers so the allocator will not reuse its interior
+// lines (§3.1), arm the write barrier for its fields (ending its
+// implicitly-dead status), keep it live for an in-flight SATB trace, and
+// enqueue recursive increments for its referents.
+func (p *LXR) finishPromotion(w *gcwork.Worker, ref obj.Ref, copied bool) {
+	size := p.om.Size(ref)
+	p.survived.Add(int64(size))
+	p.promoted.Add(1)
+	p.vm.Stats.Add(CtrPromoted, 1)
+	if copied {
+		p.copiedY.Add(int64(size))
+		p.vm.Stats.Add(CtrYoungEvacBytes, int64(size))
+	}
+	p.markStraddleLines(ref, size)
+	satb := p.satbActive.Load()
+	if satb {
+		p.marks.Set(ref)
+	}
+	n := p.om.NumRefs(ref)
+	for i := 0; i < n; i++ {
+		slot := p.om.SlotAddr(ref, i)
+		p.logs.SetUnlogged(slot)
+		if child := p.om.A.LoadRef(slot); !child.IsNil() {
+			if !p.plausibleRef(child) {
+				p.vm.Stats.Add(CtrDefensiveSkip, 1)
+				continue
+			}
+			// The tracer will never scan this object (promotion marked
+			// it), so the promotion scan must stand in for the trace's
+			// remembered-set bootstrap: record edges into evacuation
+			// sets here, or evacuation would miss these slots (§3.3.2).
+			if satb && p.bt.HasFlag(child.Block(), immix.FlagDefrag) {
+				p.rem.Record(slot, child.Block())
+			}
+			w.Push(slot)
+		}
+	}
+}
+
+// markStraddleLines writes a non-zero RC-table entry (and a straddle
+// bit, excluding the granule from object-start enumeration) for each
+// trailing line except the last, so the line allocator cannot reuse
+// them (§3.1).
+func (p *LXR) markStraddleLines(ref obj.Ref, size int) {
+	if p.om.IsLarge(ref) || size <= mem.LineSize {
+		return
+	}
+	endLine := (ref + mem.Address(size) - 1).Line()
+	if maxLine := (ref.Block()+1)*mem.LinesPerBlock - 1; endLine > maxLine {
+		endLine = maxLine // objects never span blocks (see reclaimObjectMeta)
+	}
+	for l := ref.Line() + 1; l < endLine; l++ {
+		a := mem.LineStart(l)
+		p.rc.Set(a, 1)
+		p.straddle.Set(a)
+	}
+}
+
+// --- young sweep ---------------------------------------------------------------
+
+// sweepYoung examines every block allocated into this epoch. Lines whose
+// RC-table words are zero hold only dead young objects; whole-zero
+// blocks return to the clean pool (most memory is reclaimed here,
+// without copying or decrement processing). Returns the number of clean
+// blocks yielded.
+func (p *LXR) sweepYoung() int {
+	dirty := p.bt.TakeDirty()
+	var freed atomic.Int64
+	p.pool.ParallelFor(len(dirty), func(_, start, end int) {
+		for _, idx := range dirty[start:end] {
+			if p.bt.State(idx) != immix.StateFull || p.bt.HasFlag(idx, immix.FlagEvacuating) {
+				p.bt.ClearFlag(idx, immix.FlagYoung|immix.FlagDirty)
+				continue
+			}
+			switch p.classifyBlock(idx) {
+			case blockEmpty:
+				p.noteFree(idx, "youngsweep")
+				p.bt.ReleaseFree(idx)
+				freed.Add(1)
+			case blockPartial:
+				p.bt.ReleaseRecycled(idx)
+			default:
+				p.bt.ClearFlag(idx, immix.FlagYoung|immix.FlagDirty)
+			}
+		}
+	})
+	p.vm.Stats.Add(CtrYoungFreeBlk, freed.Load())
+	return int(freed.Load())
+}
+
+type blockClass int
+
+const (
+	blockEmpty blockClass = iota
+	blockPartial
+	blockFullLive
+)
+
+// classifyBlock inspects a block's RC-table line words.
+func (p *LXR) classifyBlock(idx int) blockClass {
+	base := idx * mem.LinesPerBlock
+	free, used := 0, 0
+	for l := base; l < base+mem.LinesPerBlock; l++ {
+		if p.rc.LineFree(l) {
+			free++
+		} else {
+			used++
+		}
+	}
+	switch {
+	case used == 0:
+		return blockEmpty
+	case free > 0:
+		return blockPartial
+	default:
+		return blockFullLive
+	}
+}
+
+// sweepNewLarge frees large objects allocated this epoch that received
+// no increment (implicitly dead young large objects).
+func (p *LXR) sweepNewLarge() {
+	for _, a := range p.losNewMu.q.Take() {
+		if p.rc.Get(a) == 0 {
+			p.bt.LOS().Free(a)
+		}
+	}
+}

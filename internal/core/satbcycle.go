@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/immix"
+	"lxr/internal/mem"
+	"lxr/internal/obj"
+)
+
+// startSATB begins a concurrent trace epoch inside the current pause:
+// it selects evacuation sets (blocks under the occupancy threshold,
+// lowest occupancy first, §3.3.2), resets the line reuse counters that
+// validate remembered-set entries, and seeds the tracer with the current
+// root set.
+func (p *LXR) startSATB() {
+	if p.cfg.matureEvacOn() {
+		p.selectEvacSets()
+	}
+	p.reuse.ResetAll()
+	p.tracer.Begin()
+	seeds := make([]obj.Ref, 0, len(p.rootSlots))
+	for _, s := range p.rootSlots {
+		if !(*s).IsNil() {
+			seeds = append(seeds, *s)
+		}
+	}
+	p.tracer.Seed(seeds)
+	p.traceEpochs = 0
+	p.satbActive.Store(true)
+}
+
+// selectEvacSets flags defragmentation targets: full blocks whose
+// RC-table occupancy upper bound is below DefragOccupancy, sorted from
+// the lowest occupancy, capped at DefragMaxBlocks.
+func (p *LXR) selectEvacSets() {
+	type cand struct{ idx, live int }
+	limit := int(p.cfg.DefragOccupancy * mem.GranulesPerBlock)
+	var cands []cand
+	p.bt.AllBlocks(func(idx int) {
+		if p.bt.State(idx) != immix.StateFull || p.bt.HasFlag(idx, immix.FlagEvacuating) {
+			return
+		}
+		if live := p.rc.BlockLiveGranules(idx); live < limit {
+			cands = append(cands, cand{idx, live})
+		}
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
+	if len(cands) > p.cfg.DefragMaxBlocks {
+		cands = cands[:p.cfg.DefragMaxBlocks]
+	}
+	p.evacSet = p.evacSet[:0]
+	for _, c := range cands {
+		p.bt.SetFlag(c.idx, immix.FlagDefrag)
+		p.evacSet = append(p.evacSet, c.idx)
+	}
+}
+
+// finalizeSATB runs in the pause where the trace completed: it reclaims
+// unmarked mature objects (cycles and stuck counts that reference
+// counting cannot collect), evacuates the evacuation sets, clears mark
+// bits, and feeds the live-block predictor.
+func (p *LXR) finalizeSATB() {
+	p.sweepUnmarked()
+	if p.cfg.matureEvacOn() && len(p.evacSet) > 0 {
+		p.evacuateSets()
+	}
+	p.marks.ClearAll()
+	p.tracer.Finish()
+	p.satbActive.Store(false)
+	p.satbTrig.ObserveLiveBlocks(p.bt.InUseBlocks())
+}
+
+// sweepUnmarked reclaims every mature object the completed trace left
+// unmarked. An unmarked object with a non-zero count was dead at the
+// snapshot: clearing its counts frees its lines; no recursive
+// decrements are needed because the entire unreachable subgraph is
+// unmarked and swept in the same pass (§3.3.2, "SATB Reclamation").
+func (p *LXR) sweepUnmarked() {
+	var dead atomic.Int64
+	n := p.bt.Blocks()
+	p.pool.ParallelFor(n, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			idx := i + 1 // main blocks are 1-based
+			st := p.bt.State(idx)
+			if st != immix.StateFull && st != immix.StateRecycled {
+				continue
+			}
+			if p.bt.HasFlag(idx, immix.FlagEvacuating) {
+				continue
+			}
+			d := p.sweepBlockUnmarked(idx)
+			dead.Add(int64(d))
+			// Only full, unlisted blocks may change state here; blocks
+			// already on the recycled list stay put (their free lines
+			// are found on reuse), and defrag targets are released
+			// after evacuation.
+			if d > 0 && st == immix.StateFull && !p.bt.HasFlag(idx, immix.FlagDefrag) {
+				switch p.classifyBlock(idx) {
+				case blockEmpty:
+					p.noteFree(idx, "satbsweep")
+					p.bt.ReleaseFree(idx)
+				case blockPartial:
+					p.bt.ReleaseRecycled(idx)
+				}
+			}
+		}
+	})
+	// Large object space.
+	p.bt.LOS().Each(func(a mem.Address) {
+		if p.rc.Get(a) != 0 && !p.marks.Get(a) {
+			p.rc.Set(a, 0)
+			p.bt.LOS().Free(a)
+			dead.Add(1)
+		}
+	})
+	p.vm.Stats.Add(CtrDeadSATB, dead.Load())
+}
+
+// sweepBlockUnmarked clears the metadata of unmarked objects in one
+// block, returning how many died.
+func (p *LXR) sweepBlockUnmarked(idx int) int {
+	dead := 0
+	start := mem.BlockStart(idx)
+	for g := 0; g < mem.GranulesPerBlock; g++ {
+		a := start + mem.Address(g)<<mem.GranuleLog
+		if p.rc.Get(a) == 0 || p.straddle.Get(a) || p.marks.Get(a) {
+			continue
+		}
+		if !p.saneRef(a) {
+			// A counted granule that does not decode to an object:
+			// clear the stray count but leave neighbours alone.
+			p.rc.Set(a, 0)
+			p.vm.Stats.Add(CtrDefensiveSkip, 1)
+			continue
+		}
+		p.reclaimObjectMeta(a)
+		dead++
+	}
+	return dead
+}
+
+// reclaimObjectMeta clears the RC count and straddle markers of a dead
+// object so its lines become reusable.
+func (p *LXR) reclaimObjectMeta(ref obj.Ref) {
+	size := p.om.Size(ref)
+	p.rc.Set(ref, 0)
+	if size > mem.LineSize {
+		endLine := (ref + mem.Address(size) - 1).Line()
+		// Objects never span blocks; clamping bounds the metadata walk
+		// even if the header was clobbered, so one corrupt object can
+		// never wipe another block's counts.
+		if maxLine := (ref.Block()+1)*mem.LinesPerBlock - 1; endLine > maxLine {
+			endLine = maxLine
+		}
+		for l := ref.Line() + 1; l < endLine; l++ {
+			a := mem.LineStart(l)
+			p.rc.Set(a, 0)
+			p.straddle.Clear(a)
+		}
+	}
+}
+
+// --- mature evacuation ----------------------------------------------------------
+
+// evacuateSets defragments the evacuation sets inside the pause, using
+// the remembered sets (validated against line reuse counters) plus the
+// current roots as the incoming-reference set. The bounded trace follows
+// pointers only within the sets; each copied object's counts transfer to
+// the new copy and the incoming slot is redirected (§3.3.2).
+func (p *LXR) evacuateSets() {
+	entries := p.rem.TakeAll()
+	p.visited.ClearAll()
+	p.bt.ClearLiveAll() // reused as a per-block evacuation-failure count
+
+	// Entries are validated against line reuse counters now and the
+	// values re-checked at processing time: survivor allocators may
+	// recycle a stale entry's line during this very pause.
+	items := make([]mem.Address, 0, len(entries)+len(p.rootSlots))
+	for _, e := range entries {
+		if p.rem.Valid(e) {
+			items = append(items, e.Slot)
+		}
+	}
+	for i := range p.rootSlots {
+		items = append(items, rootTag|mem.Address(i))
+	}
+
+	var copied atomic.Int64
+	p.pool.Drain(items,
+		func(w *gcwork.Worker) {
+			w.Scratch = &immix.Allocator{
+				BT:          p.bt,
+				Lines:       lineMap{p.rc},
+				UseRecycled: true,
+				OnSpan:      p.onSpan,
+			}
+		},
+		func(w *gcwork.Worker, item mem.Address) {
+			if item&rootTag != 0 {
+				slot := p.rootSlots[int(item&^rootTag)]
+				p.evacSlot(w, &copied, func() obj.Ref { return *slot }, func(v obj.Ref) { *slot = v })
+			} else {
+				p.evacSlot(w, &copied,
+					func() obj.Ref { return p.om.A.LoadRef(item) },
+					func(v obj.Ref) { p.om.A.StoreRef(item, v) })
+			}
+		},
+		func(w *gcwork.Worker) { w.Scratch.(*immix.Allocator).Flush() })
+	p.vm.Stats.Add(CtrMatureEvacObjs, copied.Load())
+
+	// Source blocks hold forwarding pointers that pending lazy
+	// decrements may still need; they are quarantined until the
+	// decrement queue drains, then line-scanned and released.
+	for _, idx := range p.evacSet {
+		p.bt.ClearFlag(idx, immix.FlagDefrag)
+		p.bt.SetFlag(idx, immix.FlagEvacuating)
+	}
+	p.conc.submitEvacBlocks(p.evacSet)
+	p.evacSet = p.evacSet[:0]
+}
+
+// evacSlot processes one incoming reference during evacuation.
+func (p *LXR) evacSlot(w *gcwork.Worker, copied *atomic.Int64, get func() obj.Ref, set func(obj.Ref)) {
+	val := get()
+	if !p.plausibleRef(val) {
+		return // nil, or garbage read through a stale remset entry
+	}
+	if !p.bt.HasFlag(val.Block(), immix.FlagDefrag) {
+		return // outside the evacuation set: out of scope (§3.3.2)
+	}
+	if !p.saneRef(val) {
+		return // stale entry decoding to a non-object
+	}
+	dst, moved, live := p.ensureEvacuated(w, copied, val)
+	if !live {
+		return // dead object or stale entry: nothing to redirect
+	}
+	if moved {
+		set(dst)
+	}
+	// Scan the object once for pointers that stay within the sets.
+	if p.visited.TrySet(val) {
+		n := p.om.NumRefs(dst)
+		for i := 0; i < n; i++ {
+			slot := p.om.SlotAddr(dst, i)
+			if child := p.om.A.LoadRef(slot); p.plausibleRef(child) &&
+				p.bt.HasFlag(child.Block(), immix.FlagDefrag) {
+				w.Push(slot)
+			}
+		}
+	}
+}
+
+// ensureEvacuated copies val out of its block exactly once, transferring
+// its reference count and clearing the source's metadata. When the copy
+// reserve is exhausted the object stays in place (recorded as a
+// per-block failure so the block is not treated as empty).
+func (p *LXR) ensureEvacuated(w *gcwork.Worker, copied *atomic.Int64, val obj.Ref) (dst obj.Ref, moved, live bool) {
+	for {
+		fw := p.om.ForwardingWord(val)
+		switch fw & 3 {
+		case obj.FwdForwarded:
+			return obj.Ref(fw >> 2), true, true
+		case obj.FwdBusy:
+			continue
+		}
+		if p.rc.Get(val) == 0 || p.straddle.Get(val) {
+			return val, false, false // dead object or stale remset entry
+		}
+		if !p.om.TryClaimForwarding(val) {
+			continue
+		}
+		size := p.om.Size(val)
+		sa := w.Scratch.(*immix.Allocator)
+		d, ok := sa.Alloc(size)
+		if !ok {
+			p.om.AbandonForwarding(val)
+			p.bt.AddLive(val.Block(), 1) // evacuation failure: block stays live
+			return val, false, true
+		}
+		p.om.CopyTo(val, d)
+		p.rc.Set(d, p.rc.Get(val))
+		p.markStraddleLines(d, size)
+		n := p.om.NumRefs(d)
+		for i := 0; i < n; i++ {
+			p.logs.SetUnlogged(p.om.SlotAddr(d, i))
+		}
+		p.reclaimObjectMeta(val) // free the source lines (block quarantined)
+		p.om.InstallForwarding(val, d)
+		copied.Add(1)
+		return d, true, true
+	}
+}
+
+// plausibleRef reports whether v could be an object reference: non-nil,
+// granule-aligned, and inside the arena. Values read through stale
+// remembered-set entries can be arbitrary bit patterns; implausible ones
+// are discarded (the reuse-counter check catches the rest, §3.3.2).
+func (p *LXR) plausibleRef(v obj.Ref) bool {
+	return !v.IsNil() && v&(mem.Granule-1) == 0 && p.om.A.Contains(v)
+}

@@ -1,0 +1,269 @@
+// Package gcwork provides the parallel collection machinery: a worker
+// pool that drains dynamically generated work (mark stacks, increment
+// and decrement queues) with chunk-granularity work stealing and proper
+// termination detection, a ParallelFor for static partitioning, and
+// segmented address buffers used by write barriers and RC queues.
+//
+// LXR uses parallelism in every collection phase (§3.5); the same pool
+// drives the baseline collectors' parallel tracing and copying.
+package gcwork
+
+import (
+	"sync"
+
+	"lxr/internal/mem"
+)
+
+// chunkSize is the work-stealing granularity: workers share work in
+// chunks of addresses, which also naturally partitions very large
+// reference arrays (the scalability fix noted in §3.5).
+const chunkSize = 512
+
+// Pool is a reusable parallel worker pool.
+type Pool struct {
+	N int // number of workers
+}
+
+// NewPool creates a pool with n workers (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{N: n}
+}
+
+// Worker is the per-goroutine context handed to processing functions.
+// Processing functions may push new work items, which are drained before
+// the Drain call returns.
+type Worker struct {
+	ID    int
+	local []mem.Address
+	sh    *shared
+	// Scratch lets phases carry per-worker state (e.g. copy allocators).
+	Scratch any
+}
+
+type shared struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	chunks  [][]mem.Address
+	waiting int
+	n       int
+	done    bool
+}
+
+// Push adds a work item for later processing. When the local stack grows
+// past two chunks, one chunk is published for stealing.
+func (w *Worker) Push(a mem.Address) {
+	w.local = append(w.local, a)
+	if len(w.local) >= 2*chunkSize {
+		w.publish()
+	}
+}
+
+func (w *Worker) publish() {
+	c := make([]mem.Address, chunkSize)
+	copy(c, w.local[:chunkSize])
+	w.local = append(w.local[:0], w.local[chunkSize:]...)
+	w.sh.mu.Lock()
+	w.sh.chunks = append(w.sh.chunks, c)
+	w.sh.mu.Unlock()
+	w.sh.cond.Signal()
+}
+
+func (w *Worker) pop() (mem.Address, bool) {
+	if n := len(w.local); n > 0 {
+		a := w.local[n-1]
+		w.local = w.local[:n-1]
+		return a, true
+	}
+	return mem.Nil, false
+}
+
+// steal blocks until a chunk is available or global termination.
+func (w *Worker) steal() bool {
+	sh := w.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		if len(sh.chunks) > 0 {
+			c := sh.chunks[len(sh.chunks)-1]
+			sh.chunks = sh.chunks[:len(sh.chunks)-1]
+			w.local = append(w.local, c...)
+			return true
+		}
+		sh.waiting++
+		if sh.waiting == sh.n {
+			sh.done = true
+			sh.cond.Broadcast()
+			return false
+		}
+		for len(sh.chunks) == 0 && !sh.done {
+			sh.cond.Wait()
+		}
+		sh.waiting--
+		if sh.done {
+			return false
+		}
+	}
+}
+
+// Drain processes the seed items and everything transitively pushed by
+// f, in parallel across the pool's workers. It returns when all work is
+// exhausted. setup, when non-nil, runs once per worker before processing
+// (to install Scratch state); teardown runs after.
+func (p *Pool) Drain(seed []mem.Address, setup func(w *Worker), f func(w *Worker, a mem.Address), teardown func(w *Worker)) {
+	sh := &shared{n: p.N}
+	sh.cond = sync.NewCond(&sh.mu)
+	// Pre-split the seed into chunks.
+	for i := 0; i < len(seed); i += chunkSize {
+		end := min(i+chunkSize, len(seed))
+		c := make([]mem.Address, end-i)
+		copy(c, seed[i:end])
+		sh.chunks = append(sh.chunks, c)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p.N; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := &Worker{ID: id, sh: sh}
+			if setup != nil {
+				setup(w)
+			}
+			for {
+				a, ok := w.pop()
+				if !ok {
+					if !w.steal() {
+						break
+					}
+					continue
+				}
+				f(w, a)
+			}
+			if teardown != nil {
+				teardown(w)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ParallelFor runs f over [0, n) split into contiguous ranges across the
+// pool's workers. It is used for statically partitionable phases such as
+// buffer processing and block sweeping.
+func (p *Pool) ParallelFor(n int, f func(worker, start, end int)) {
+	if n == 0 {
+		return
+	}
+	workers := p.N
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for i := 0; i < workers; i++ {
+		start := i * per
+		end := min(start+per, n)
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(id, s, e int) {
+			defer wg.Done()
+			f(id, s, e)
+		}(i, start, end)
+	}
+	wg.Wait()
+}
+
+// --- segmented address buffers ----------------------------------------------
+
+// segSize is the segment length of address buffers.
+const segSize = 1024
+
+// AddrBuffer is an append-only buffer of addresses stored in fixed-size
+// segments. Mutators fill private buffers between collections; at a
+// pause the plan takes all segments at once. The zero value is ready to
+// use.
+type AddrBuffer struct {
+	segs [][]mem.Address
+	cur  []mem.Address
+	n    int
+}
+
+// Push appends an address.
+func (b *AddrBuffer) Push(a mem.Address) {
+	if len(b.cur) == cap(b.cur) {
+		if b.cur != nil {
+			b.segs = append(b.segs, b.cur)
+		}
+		b.cur = make([]mem.Address, 0, segSize)
+	}
+	b.cur = append(b.cur, a)
+	b.n++
+}
+
+// Len returns the number of buffered addresses.
+func (b *AddrBuffer) Len() int { return b.n }
+
+// Take removes and returns all buffered addresses as a flat slice.
+func (b *AddrBuffer) Take() []mem.Address {
+	out := make([]mem.Address, 0, b.n)
+	for _, s := range b.segs {
+		out = append(out, s...)
+	}
+	out = append(out, b.cur...)
+	b.segs, b.cur, b.n = nil, nil, 0
+	return out
+}
+
+// TakeInto appends all buffered addresses to dst and clears the buffer.
+func (b *AddrBuffer) TakeInto(dst []mem.Address) []mem.Address {
+	for _, s := range b.segs {
+		dst = append(dst, s...)
+	}
+	dst = append(dst, b.cur...)
+	b.segs, b.cur, b.n = nil, nil, 0
+	return dst
+}
+
+// SharedAddrQueue is a mutex-protected queue of address slices shared
+// between mutator flushes and the concurrent collector thread.
+type SharedAddrQueue struct {
+	mu   sync.Mutex
+	data []mem.Address
+}
+
+// Append adds addresses to the queue.
+func (q *SharedAddrQueue) Append(as []mem.Address) {
+	if len(as) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.data = append(q.data, as...)
+	q.mu.Unlock()
+}
+
+// Push adds one address.
+func (q *SharedAddrQueue) Push(a mem.Address) {
+	q.mu.Lock()
+	q.data = append(q.data, a)
+	q.mu.Unlock()
+}
+
+// Take removes and returns everything queued.
+func (q *SharedAddrQueue) Take() []mem.Address {
+	q.mu.Lock()
+	d := q.data
+	q.data = nil
+	q.mu.Unlock()
+	return d
+}
+
+// Len returns the queued count.
+func (q *SharedAddrQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.data)
+}

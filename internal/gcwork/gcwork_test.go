@@ -1,0 +1,105 @@
+package gcwork_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/mem"
+)
+
+func TestDrainProcessesTransitiveWork(t *testing.T) {
+	p := gcwork.NewPool(4)
+	// Each item n spawns items n-1 ... 1; total visits = sum over seeds.
+	var visits atomic.Int64
+	seeds := []mem.Address{5, 5, 5}
+	p.Drain(seeds, nil, func(w *gcwork.Worker, a mem.Address) {
+		visits.Add(1)
+		if a > 1 {
+			w.Push(a - 1)
+		}
+	}, nil)
+	if got := visits.Load(); got != 15 {
+		t.Fatalf("visits %d, want 15", got)
+	}
+}
+
+func TestDrainLargeFanOut(t *testing.T) {
+	p := gcwork.NewPool(4)
+	var visits atomic.Int64
+	seeds := make([]mem.Address, 10000)
+	for i := range seeds {
+		seeds[i] = mem.Address(i + 1)
+	}
+	p.Drain(seeds, nil, func(w *gcwork.Worker, a mem.Address) {
+		visits.Add(1)
+	}, nil)
+	if visits.Load() != 10000 {
+		t.Fatalf("visits %d", visits.Load())
+	}
+}
+
+func TestDrainSetupTeardownPerWorker(t *testing.T) {
+	p := gcwork.NewPool(3)
+	var setups, teardowns atomic.Int64
+	p.Drain([]mem.Address{1, 2, 3},
+		func(w *gcwork.Worker) { setups.Add(1); w.Scratch = w.ID },
+		func(w *gcwork.Worker, a mem.Address) {
+			if w.Scratch.(int) != w.ID {
+				t.Error("scratch lost")
+			}
+		},
+		func(w *gcwork.Worker) { teardowns.Add(1) })
+	if setups.Load() != 3 || teardowns.Load() != 3 {
+		t.Fatalf("setups %d teardowns %d", setups.Load(), teardowns.Load())
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	p := gcwork.NewPool(4)
+	covered := make([]atomic.Int32, 1000)
+	p.ParallelFor(1000, func(_, s, e int) {
+		for i := s; i < e; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+	p.ParallelFor(0, func(_, s, e int) { t.Error("zero-length ran") })
+}
+
+func TestAddrBuffer(t *testing.T) {
+	var b gcwork.AddrBuffer
+	for i := 1; i <= 3000; i++ { // crosses segment boundaries
+		b.Push(mem.Address(i))
+	}
+	if b.Len() != 3000 {
+		t.Fatalf("len %d", b.Len())
+	}
+	out := b.Take()
+	if len(out) != 3000 || out[0] != 1 || out[2999] != 3000 {
+		t.Fatal("Take lost or reordered items")
+	}
+	if b.Len() != 0 {
+		t.Fatal("Take did not clear")
+	}
+}
+
+func TestSharedAddrQueue(t *testing.T) {
+	var q gcwork.SharedAddrQueue
+	q.Push(1)
+	q.Append([]mem.Address{2, 3})
+	q.Append(nil)
+	if q.Len() != 3 {
+		t.Fatalf("len %d", q.Len())
+	}
+	if got := q.Take(); len(got) != 3 {
+		t.Fatalf("take %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatal("not cleared")
+	}
+}

@@ -1,0 +1,78 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lxr/internal/harness"
+	"lxr/internal/workload"
+)
+
+func quickOpts(buf *bytes.Buffer) harness.Options {
+	return harness.Options{
+		Scale:     workload.QuickScale(),
+		GCThreads: 2,
+		Out:       buf,
+	}
+}
+
+func TestRunOneBatch(t *testing.T) {
+	spec, ok := workload.ByName("fop")
+	if !ok {
+		t.Fatal("missing spec")
+	}
+	for _, c := range []string{harness.CLXR, harness.CG1, harness.CSerial} {
+		r := harness.RunOne(spec, c, 2, 0, quickOpts(&bytes.Buffer{}))
+		if !r.OK {
+			t.Fatalf("%s did not run", c)
+		}
+		if r.Wall <= 0 {
+			t.Fatalf("%s: no wall time", c)
+		}
+	}
+}
+
+func TestRunOneRequests(t *testing.T) {
+	spec, _ := workload.ByName("lusearch")
+	opts := quickOpts(&bytes.Buffer{})
+	rate := harness.CalibrateRate(spec, opts)
+	if rate <= 0 {
+		t.Fatal("calibration failed")
+	}
+	r := harness.RunOne(spec, harness.CLXR, 2, rate, opts)
+	if !r.OK || len(r.Latencies) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if r.PausePercentile(50) < 0 {
+		t.Fatal("bad pause percentile")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	rows := harness.RunTable1(quickOpts(&buf))
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	out := buf.String()
+	for _, want := range []string{"G1", "Shenandoah", "LXR", "Table 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Shape check: LXR should not be drastically slower than G1.
+	g1, lxr := rows[0], rows[2]
+	if g1.OK && lxr.OK && lxr.Wall.Seconds() > 3*g1.Wall.Seconds() {
+		t.Errorf("LXR %.2fs vs G1 %.2fs: unexpectedly slow", lxr.Wall.Seconds(), g1.Wall.Seconds())
+	}
+}
+
+func TestNewPlanZGCUnavailableSmallHeap(t *testing.T) {
+	if harness.NewPlan(harness.CZGC, 8<<20, 2) != nil {
+		t.Fatal("ZGC should be unavailable at 8 MB")
+	}
+}

@@ -1,0 +1,231 @@
+// Package harness runs the paper's experiments: it instantiates
+// collectors, sizes workloads, calibrates request rates, executes runs,
+// and renders each of the paper's tables and figures from the measured
+// data (see EXPERIMENTS.md for the index).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"lxr/internal/baselines"
+	"lxr/internal/core"
+	"lxr/internal/stats"
+	"lxr/internal/vm"
+	"lxr/internal/workload"
+)
+
+// Collector identifiers accepted by NewPlan.
+const (
+	CG1        = "G1"
+	CLXR       = "LXR"
+	CShen      = "Shenandoah"
+	CZGC       = "ZGC"
+	CSerial    = "Serial"
+	CParallel  = "Parallel"
+	CSemiSpace = "SemiSpace"
+	CImmix     = "Immix"
+	CImmixWB   = "Immix+WB"
+	CLXRNoSATB = "LXR-SATB" // -SATB ablation: trace in the pause
+	CLXRNoLD   = "LXR-LD"   // -LD ablation: decrements in the pause
+	CLXRSTW    = "LXR-STW"  // both ablations
+)
+
+// NewPlan constructs a collector by name. Returns nil when the
+// collector cannot run at this heap size (ZGC's minimum heap).
+func NewPlan(id string, heapBytes, gcThreads int) vm.Plan {
+	switch id {
+	case CG1:
+		return baselines.NewG1(heapBytes, gcThreads)
+	case CLXR:
+		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads})
+	case CLXRNoSATB:
+		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads, NoConcurrentSATB: true})
+	case CLXRNoLD:
+		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads, NoLazyDecrements: true})
+	case CLXRSTW:
+		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads, NoConcurrentSATB: true, NoLazyDecrements: true})
+	case CShen:
+		return baselines.NewShenandoah(heapBytes, gcThreads)
+	case CZGC:
+		if p := baselines.NewZGC(heapBytes, gcThreads); p != nil {
+			return p
+		}
+		return nil
+	case CSerial:
+		return baselines.NewSerial(heapBytes)
+	case CParallel:
+		return baselines.NewParallel(heapBytes, gcThreads)
+	case CSemiSpace:
+		return baselines.NewSemiSpace("SemiSpace", heapBytes, gcThreads)
+	case CImmix:
+		return baselines.NewImmix(heapBytes, gcThreads, false)
+	case CImmixWB:
+		return baselines.NewImmix(heapBytes, gcThreads, true)
+	}
+	panic("harness: unknown collector " + id)
+}
+
+// Options configure a harness session.
+type Options struct {
+	Scale     workload.Scale
+	GCThreads int
+	Out       io.Writer
+	// Bench filters experiments to a subset of benchmarks (nil = all).
+	Bench []string
+}
+
+// WithDefaults fills zero fields.
+func (o Options) WithDefaults() Options {
+	if o.Scale == (workload.Scale{}) {
+		o.Scale = workload.DefaultScale()
+	}
+	if o.GCThreads == 0 {
+		o.GCThreads = 4
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+func (o Options) selected(specs []workload.Spec) []workload.Spec {
+	if len(o.Bench) == 0 {
+		return specs
+	}
+	want := map[string]bool{}
+	for _, b := range o.Bench {
+		want[b] = true
+	}
+	out := []workload.Spec{}
+	for _, s := range specs {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunResult is one (benchmark, collector, heap) execution.
+type RunResult struct {
+	Bench     string
+	Collector string
+	HeapBytes int
+	OK        bool // false: collector cannot run (missing data point)
+
+	Wall      time.Duration
+	QPS       float64
+	Latencies []float64 // ms (request workloads)
+	Pauses    []vm.Pause
+	Counters  map[string]int64
+	GCWork    time.Duration
+	ConcWork  time.Duration
+	MutBusy   time.Duration
+}
+
+// PausePercentile returns the p-th percentile pause in milliseconds.
+func (r *RunResult) PausePercentile(p float64) float64 {
+	xs := make([]float64, len(r.Pauses))
+	for i, pa := range r.Pauses {
+		xs[i] = float64(pa.Dur) / float64(time.Millisecond)
+	}
+	return stats.Percentile(xs, p)
+}
+
+// TotalSTW sums stop-the-world time.
+func (r *RunResult) TotalSTW() time.Duration {
+	var t time.Duration
+	for _, p := range r.Pauses {
+		t += p.Dur
+	}
+	return t
+}
+
+// RunOne executes one benchmark under one collector at heapFactor times
+// the scaled minimum heap. rate > 0 meters request arrivals (request
+// workloads only).
+func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float64, opts Options) *RunResult {
+	opts = opts.WithDefaults()
+	sz := opts.Scale.Size(spec)
+	heap := int(heapFactor * float64(sz.MinHeapBytes))
+	res := &RunResult{Bench: spec.Name, Collector: collector, HeapBytes: heap}
+	plan := NewPlan(collector, heap, opts.GCThreads)
+	if plan == nil {
+		return res
+	}
+	v := vm.New(plan, 8)
+	defer v.Shutdown()
+	failed := false
+	if spec.Request != nil && rate > 0 {
+		rr := workload.RunRequests(v, sz, rate)
+		res.Wall = rr.Wall
+		res.QPS = rr.QPS
+		res.Latencies = rr.Latencies
+		failed = rr.Failed
+	} else {
+		br := workload.RunBatch(v, sz)
+		res.Wall = br.Wall
+		failed = br.Failed
+	}
+	res.OK = !failed
+	res.Pauses = v.Stats.Pauses()
+	res.Counters = v.Stats.Counters()
+	res.GCWork = v.Stats.GCWork()
+	res.ConcWork = v.Stats.ConcurrentWork()
+	res.MutBusy = v.Stats.MutatorBusy()
+	return res
+}
+
+// --- request-rate calibration --------------------------------------------------
+
+var (
+	calMu    sync.Mutex
+	calCache = map[string]float64{}
+)
+
+// CalibrateRate measures the workload's closed-loop capacity on the
+// Parallel collector in a roomy heap and returns 70% of it: the metered
+// arrival rate every collector is then driven at, so all collectors face
+// an identical load (as the paper's fixed request streams do).
+func CalibrateRate(spec workload.Spec, opts Options) float64 {
+	opts = opts.WithDefaults()
+	key := fmt.Sprintf("%s/%d", spec.Name, opts.Scale.HeapDiv)
+	calMu.Lock()
+	if r, ok := calCache[key]; ok {
+		calMu.Unlock()
+		return r
+	}
+	calMu.Unlock()
+
+	sz := opts.Scale.Size(spec)
+	heap := 4 * sz.MinHeapBytes
+	v := vm.New(baselines.NewParallel(heap, opts.GCThreads), 8)
+	probe := sz.Requests / 5
+	if probe < 100 {
+		probe = 100
+	}
+	cap := workload.MeasureCapacity(v, sz, probe)
+	v.Shutdown()
+	rate := 0.70 * cap
+	calMu.Lock()
+	calCache[key] = rate
+	calMu.Unlock()
+	return rate
+}
+
+// latPercentiles extracts the standard percentile set in ms.
+func latPercentiles(lat []float64) (p50, p90, p99, p999, p9999 float64) {
+	ps := stats.Percentiles(lat, 50, 90, 99, 99.9, 99.99)
+	return ps[0], ps[1], ps[2], ps[3], ps[4]
+}
+
+// sortedCopy is a tiny helper for latency curves.
+func sortedCopy(xs []float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s
+}

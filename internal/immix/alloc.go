@@ -1,0 +1,249 @@
+package immix
+
+import (
+	"lxr/internal/mem"
+)
+
+// LineMap answers whether a line is available for reuse. LXR backs this
+// with the reference-count table (a line is free when its sixteen 2-bit
+// counts are all zero, one uint32 load); tracing Immix backs it with
+// line mark bits.
+type LineMap interface {
+	LineFree(globalLine int) bool
+}
+
+// Allocator is a thread-local Immix bump-pointer allocator. It allocates
+// into a reserved block, recycles free line spans in partially free
+// blocks (skipping the conservatively-unavailable first free line after
+// a used line, §3.1), sends medium objects that do not fit the current
+// span to a dynamic-overflow block, and zeroes memory immediately before
+// handing it out.
+type Allocator struct {
+	BT    *BlockTable
+	Lines LineMap // nil disables line recycling (strictly-copying plans)
+
+	// UseRecycled makes the allocator prefer partially free blocks, the
+	// Immix/LXR policy that maximises clean blocks for large allocation.
+	UseRecycled bool
+	// Kind tags acquired blocks (G1 region kind, semispace half, ...).
+	Kind uint8
+	// NoBudget lets the allocator exceed the heap budget (the physical
+	// arena still bounds it); evacuation copy reserves use it so a
+	// collection never fails while free blocks physically exist.
+	NoBudget bool
+	// OnSpan, when set, is invoked for every address span handed to the
+	// bump pointer. LXR uses it to bump per-line reuse counters.
+	OnSpan func(start, end mem.Address, recycled bool)
+
+	cursor mem.Address
+	limit  mem.Address
+	block  int
+	scan   int // next line in block to consider for recycling
+
+	oCursor mem.Address // overflow block for medium objects
+	oLimit  mem.Address
+	oBlock  int
+
+	// Statistics.
+	Allocated      int64 // bytes allocated through this allocator
+	SinceEpoch     int64 // bytes since last harvest (trigger accounting)
+	BlocksClean    int64
+	BlocksRecycled int64
+}
+
+// Alloc reserves size bytes (16-byte aligned, caller guarantees) and
+// returns the zeroed start address. ok=false means the heap budget is
+// exhausted and a collection is required.
+func (al *Allocator) Alloc(size int) (mem.Address, bool) {
+	if a := al.cursor; a+mem.Address(size) <= al.limit {
+		al.cursor += mem.Address(size)
+		al.Allocated += int64(size)
+		al.SinceEpoch += int64(size)
+		return a, true
+	}
+	return al.allocSlow(size)
+}
+
+func (al *Allocator) allocSlow(size int) (mem.Address, bool) {
+	// Dynamic overflow: medium objects that do not fit the remaining
+	// span go to the overflow block so the span's lines are not wasted.
+	if size > mem.LineSize && al.limit-al.cursor > 0 {
+		if a, ok := al.allocOverflow(size); ok {
+			return a, true
+		}
+		return mem.Nil, false
+	}
+	for {
+		if al.nextSpanInBlock() {
+			if a := al.cursor; a+mem.Address(size) <= al.limit {
+				al.cursor += mem.Address(size)
+				al.Allocated += int64(size)
+				al.SinceEpoch += int64(size)
+				return a, true
+			}
+			continue // span too small for this object; try the next
+		}
+		if !al.acquireBlock() {
+			return mem.Nil, false
+		}
+		if a := al.cursor; a+mem.Address(size) <= al.limit {
+			al.cursor += mem.Address(size)
+			al.Allocated += int64(size)
+			al.SinceEpoch += int64(size)
+			return a, true
+		}
+	}
+}
+
+func (al *Allocator) allocOverflow(size int) (mem.Address, bool) {
+	if a := al.oCursor; a+mem.Address(size) <= al.oLimit {
+		al.oCursor += mem.Address(size)
+		al.Allocated += int64(size)
+		al.SinceEpoch += int64(size)
+		return a, true
+	}
+	idx, ok := al.acquireClean()
+	if !ok {
+		return mem.Nil, false
+	}
+	al.retireOverflow()
+	al.prepareClean(idx)
+	al.BT.SetFlag(idx, FlagYoung) // clean overflow blocks hold only young objects
+	al.oBlock = idx
+	al.oCursor = mem.BlockStart(idx)
+	al.oLimit = al.oCursor + mem.BlockSize
+	// Zero and clear metadata exactly like a bump span: stale contents
+	// here would masquerade as live references.
+	al.BT.Arena.ZeroRange(al.oCursor, al.oLimit)
+	if al.OnSpan != nil {
+		al.OnSpan(al.oCursor, al.oLimit, false)
+	}
+	a := al.oCursor
+	al.oCursor += mem.Address(size)
+	al.Allocated += int64(size)
+	al.SinceEpoch += int64(size)
+	return a, true
+}
+
+// nextSpanInBlock advances the bump span to the next run of free lines
+// in the current (recycled) block. Following Immix, the first free line
+// after a used line is treated as unavailable so that objects straddling
+// into it are never clobbered.
+func (al *Allocator) nextSpanInBlock() bool {
+	if al.block == 0 || al.Lines == nil {
+		return false
+	}
+	base := al.block * mem.LinesPerBlock
+	l := al.scan
+	for l < mem.LinesPerBlock {
+		for l < mem.LinesPerBlock && !al.Lines.LineFree(base+l) {
+			l++
+		}
+		if l >= mem.LinesPerBlock {
+			break
+		}
+		if l > 0 {
+			// Conservative straddle rule: skip the first free line
+			// following a used line (or a previously returned span).
+			l++
+			if l >= mem.LinesPerBlock || !al.Lines.LineFree(base+l) {
+				continue
+			}
+		}
+		start := l
+		for l < mem.LinesPerBlock && al.Lines.LineFree(base+l) {
+			l++
+		}
+		al.scan = l
+		al.setSpan(mem.LineStart(base+start), mem.LineStart(base+l), true)
+		return true
+	}
+	al.scan = mem.LinesPerBlock
+	return false
+}
+
+func (al *Allocator) acquireBlock() bool {
+	al.retireCurrent()
+	if al.UseRecycled {
+		if idx, ok := al.BT.AcquireRecycled(); ok {
+			al.BT.SetKind(idx, al.Kind)
+			al.BT.NoteDirty(idx)
+			al.BlocksRecycled++
+			al.block = idx
+			al.scan = 0
+			if al.nextSpanInBlock() {
+				return true
+			}
+			// A recycled block may have had its last lines consumed by
+			// the conservative rule; retire it and try again.
+			return al.acquireBlock()
+		}
+	}
+	idx, ok := al.acquireClean()
+	if !ok {
+		return false
+	}
+	al.prepareClean(idx)
+	al.BT.SetFlag(idx, FlagYoung)
+	al.block = idx
+	al.scan = mem.LinesPerBlock // clean block: single whole-block span
+	al.setSpan(mem.BlockStart(idx), mem.BlockStart(idx)+mem.BlockSize, false)
+	return true
+}
+
+func (al *Allocator) acquireClean() (int, bool) {
+	if al.NoBudget {
+		return al.BT.AcquireCleanNoBudget()
+	}
+	return al.BT.AcquireClean()
+}
+
+func (al *Allocator) prepareClean(idx int) {
+	al.BT.SetKind(idx, al.Kind)
+	al.BT.NoteDirty(idx)
+	al.BlocksClean++
+}
+
+func (al *Allocator) setSpan(start, end mem.Address, recycled bool) {
+	al.cursor = start
+	al.limit = end
+	// Zero immediately before allocating into the span (§3.1); clean
+	// blocks are zeroed in bulk here, recycled lines span by span.
+	al.BT.Arena.ZeroRange(start, end)
+	if al.OnSpan != nil {
+		al.OnSpan(start, end, recycled)
+	}
+}
+
+func (al *Allocator) retireCurrent() {
+	if al.block != 0 {
+		al.BT.Retire(al.block)
+		al.block = 0
+	}
+	al.cursor, al.limit = 0, 0
+}
+
+func (al *Allocator) retireOverflow() {
+	if al.oBlock != 0 {
+		al.BT.Retire(al.oBlock)
+		al.oBlock = 0
+	}
+	al.oCursor, al.oLimit = 0, 0
+}
+
+// Flush retires the allocator's blocks. Plans call it at collection
+// pauses, because the lines backing the bump span may be reclaimed or
+// the block's flags rewritten.
+func (al *Allocator) Flush() {
+	al.retireCurrent()
+	al.retireOverflow()
+	al.scan = 0
+}
+
+// HarvestSinceEpoch returns and clears the bytes-allocated-since-last-
+// harvest counter used by collection triggers.
+func (al *Allocator) HarvestSinceEpoch() int64 {
+	v := al.SinceEpoch
+	al.SinceEpoch = 0
+	return v
+}

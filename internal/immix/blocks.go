@@ -1,0 +1,483 @@
+// Package immix implements the Immix hierarchical heap structure shared
+// by LXR and the baseline collectors: a table of 32 KB blocks divided
+// into 256 B lines, lock-free global free/recycled block lists, a bounded
+// clean-block buffer (§3.5), thread-local bump-pointer allocators with
+// line recycling and dynamic overflow (§3.1), and a large object space.
+package immix
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lxr/internal/mem"
+)
+
+// Block states (low nibble of the per-block state word).
+const (
+	StateUntracked uint32 = iota // block 0 / outside any space
+	StateFree                    // on the free list or clean buffer
+	StateReserved                // held by a thread-local allocator
+	StateFull                    // retired, contains objects
+	StateRecycled                // partially free, on the recycled list
+	StateLargeHead               // first block of a large object
+	StateLargeBody               // continuation block of a large object
+)
+
+// Block flags (upper bits of the state word).
+const (
+	// FlagDefrag marks a block selected into an evacuation set.
+	FlagDefrag uint32 = 1 << 8
+	// FlagYoung marks a block that was completely clean when handed to
+	// an allocator in the current RC epoch; every object in it is young,
+	// making it a target for all-young evacuation (§3.3.2).
+	FlagYoung uint32 = 1 << 9
+	// FlagDirty marks a block allocated into since the last collection;
+	// these are the blocks the RC pause sweeps.
+	FlagDirty uint32 = 1 << 10
+	// FlagEvacuating marks blocks whose objects are being copied out by
+	// a concurrent collector (Shenandoah/ZGC collection sets).
+	FlagEvacuating uint32 = 1 << 11
+
+	stateMask = 0xf
+	flagsMask = ^uint32(stateMask)
+)
+
+// KindShift positions the 8-bit space/kind tag baselines use (e.g. G1
+// region kind, semispace half).
+const KindShift = 16
+
+// BlockTable tracks the state of every block in an arena plus the global
+// free and recycled lists. All operations on the lists are lock-free
+// (Treiber stacks with an ABA tag), matching the paper's lock-free block
+// allocators (§3.5).
+type BlockTable struct {
+	Arena *mem.Arena
+
+	state []uint32 // per-block state word
+	next  []uint32 // freelist links (block index, 0 = end)
+	live  []int32  // per-block live-byte scratch for liveness analyses
+
+	freeHead atomic.Uint64 // packed (tag<<32 | idx)
+	recyHead atomic.Uint64
+
+	freeCount atomic.Int32 // blocks on the free list + clean buffer
+	recyCount atomic.Int32
+	inUse     atomic.Int32 // blocks held by allocators, full, or large
+
+	// cleanBuf is the bounded lock-free clean-block buffer from §3.5
+	// ("a 4 MB lock-free global block allocation buffer"): a small array
+	// of slots that front the free list to reduce contention at very
+	// high allocation rates. Slot value 0 means empty.
+	cleanBuf []atomic.Uint32
+
+	// budgetBlocks is the collector's heap budget in blocks; the arena
+	// may be larger (it also holds the large object range).
+	budgetBlocks int
+
+	mainBlocks int // blocks [1, mainBlocks] belong to the main space
+
+	dirtyMu   sync.Mutex
+	dirty     []int // blocks allocated into since the last collection
+	dirtySet  []bool
+	defragSet []int // current evacuation-set blocks
+
+	// Trace, when set, receives block lifecycle events (debugging).
+	Trace func(idx int, event string)
+
+	los *LargeSpace
+}
+
+// Config controls heap construction.
+type Config struct {
+	// HeapBytes is the collector's heap budget (the "heap size" of the
+	// paper's experiments). Main-space blocks plus large-object blocks
+	// in use never exceed it.
+	HeapBytes int
+	// LOSBytes is the capacity reserved in the arena for the large
+	// object range. It defaults to HeapBytes (budget still shared).
+	LOSBytes int
+	// CleanBufferSlots sizes the lock-free clean-block buffer.
+	// Defaults to 32 entries, the paper's default (§5.4).
+	CleanBufferSlots int
+}
+
+// NewBlockTable builds an arena and its block table.
+func NewBlockTable(cfg Config) *BlockTable {
+	if cfg.HeapBytes < 4*mem.BlockSize {
+		cfg.HeapBytes = 4 * mem.BlockSize
+	}
+	if cfg.LOSBytes == 0 {
+		cfg.LOSBytes = cfg.HeapBytes
+	}
+	if cfg.CleanBufferSlots == 0 {
+		cfg.CleanBufferSlots = 32
+	}
+	mainBytes := (cfg.HeapBytes + mem.BlockSize - 1) / mem.BlockSize * mem.BlockSize
+	arena := mem.NewArena(mainBytes + cfg.LOSBytes)
+	n := arena.Blocks()
+	bt := &BlockTable{
+		Arena:        arena,
+		state:        make([]uint32, n),
+		next:         make([]uint32, n),
+		live:         make([]int32, n),
+		cleanBuf:     make([]atomic.Uint32, cfg.CleanBufferSlots),
+		budgetBlocks: cfg.HeapBytes / mem.BlockSize,
+		mainBlocks:   mainBytes / mem.BlockSize,
+		dirtySet:     make([]bool, n),
+	}
+	// Blocks run [1, mainBlocks] for the main space; the rest is LOS.
+	for i := bt.mainBlocks; i >= 1; i-- {
+		bt.state[i] = StateFree
+		bt.pushList(&bt.freeHead, i)
+	}
+	bt.freeCount.Store(int32(bt.mainBlocks))
+	bt.los = newLargeSpace(bt, bt.mainBlocks+1, n-1)
+	return bt
+}
+
+// LOS returns the large object space.
+func (bt *BlockTable) LOS() *LargeSpace { return bt.los }
+
+// Blocks returns the number of main-space blocks.
+func (bt *BlockTable) Blocks() int { return bt.mainBlocks }
+
+// BudgetBlocks returns the heap budget in blocks.
+func (bt *BlockTable) BudgetBlocks() int { return bt.budgetBlocks }
+
+// HeapBytes returns the heap budget in bytes.
+func (bt *BlockTable) HeapBytes() int { return bt.budgetBlocks * mem.BlockSize }
+
+// --- state word accessors --------------------------------------------------
+
+// State returns the state nibble of block idx.
+func (bt *BlockTable) State(idx int) uint32 {
+	return atomic.LoadUint32(&bt.state[idx]) & stateMask
+}
+
+// Word returns the whole state word of block idx.
+func (bt *BlockTable) Word(idx int) uint32 { return atomic.LoadUint32(&bt.state[idx]) }
+
+// SetState replaces the state nibble of block idx, preserving flags.
+func (bt *BlockTable) SetState(idx int, s uint32) {
+	for {
+		old := atomic.LoadUint32(&bt.state[idx])
+		if atomic.CompareAndSwapUint32(&bt.state[idx], old, old&flagsMask|s) {
+			return
+		}
+	}
+}
+
+// SetFlag sets flag bits on block idx.
+func (bt *BlockTable) SetFlag(idx int, f uint32) {
+	for {
+		old := atomic.LoadUint32(&bt.state[idx])
+		if old&f == f || atomic.CompareAndSwapUint32(&bt.state[idx], old, old|f) {
+			return
+		}
+	}
+}
+
+// ClearFlag clears flag bits on block idx.
+func (bt *BlockTable) ClearFlag(idx int, f uint32) {
+	for {
+		old := atomic.LoadUint32(&bt.state[idx])
+		if old&f == 0 || atomic.CompareAndSwapUint32(&bt.state[idx], old, old&^f) {
+			return
+		}
+	}
+}
+
+// HasFlag reports whether block idx has all bits of f set.
+func (bt *BlockTable) HasFlag(idx int, f uint32) bool {
+	return atomic.LoadUint32(&bt.state[idx])&f == f
+}
+
+// SetKind stores an 8-bit space/kind tag for block idx.
+func (bt *BlockTable) SetKind(idx int, kind uint8) {
+	for {
+		old := atomic.LoadUint32(&bt.state[idx])
+		new := old&^uint32(0xff<<KindShift) | uint32(kind)<<KindShift
+		if atomic.CompareAndSwapUint32(&bt.state[idx], old, new) {
+			return
+		}
+	}
+}
+
+// Kind returns the 8-bit space/kind tag of block idx.
+func (bt *BlockTable) Kind(idx int) uint8 {
+	return uint8(atomic.LoadUint32(&bt.state[idx]) >> KindShift)
+}
+
+// SetLive stores a live-byte figure for block idx.
+func (bt *BlockTable) SetLive(idx int, bytes int32) { atomic.StoreInt32(&bt.live[idx], bytes) }
+
+// AddLive accumulates live bytes for block idx and returns the new total.
+func (bt *BlockTable) AddLive(idx int, bytes int32) int32 {
+	return atomic.AddInt32(&bt.live[idx], bytes)
+}
+
+// Live returns the live-byte figure of block idx.
+func (bt *BlockTable) Live(idx int) int32 { return atomic.LoadInt32(&bt.live[idx]) }
+
+// ClearLiveAll zeroes the live-byte scratch for all blocks.
+func (bt *BlockTable) ClearLiveAll() {
+	for i := range bt.live {
+		atomic.StoreInt32(&bt.live[i], 0)
+	}
+}
+
+// --- lock-free lists --------------------------------------------------------
+
+func (bt *BlockTable) pushList(head *atomic.Uint64, idx int) {
+	for {
+		old := head.Load()
+		bt.next[idx] = uint32(old) // current head index
+		new := (old>>32+1)<<32 | uint64(uint32(idx))
+		if head.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (bt *BlockTable) popList(head *atomic.Uint64) (int, bool) {
+	for {
+		old := head.Load()
+		idx := uint32(old)
+		if idx == 0 {
+			return 0, false
+		}
+		next := atomic.LoadUint32(&bt.next[idx])
+		new := (old>>32+1)<<32 | uint64(next)
+		if head.CompareAndSwap(old, new) {
+			return int(idx), true
+		}
+	}
+}
+
+// FreeBlocks returns the number of clean blocks available.
+func (bt *BlockTable) FreeBlocks() int { return int(bt.freeCount.Load()) }
+
+// RecycledBlocks returns the number of partially free blocks available.
+func (bt *BlockTable) RecycledBlocks() int { return int(bt.recyCount.Load()) }
+
+// InUseBlocks returns main-space blocks currently holding objects or
+// reserved by allocators.
+func (bt *BlockTable) InUseBlocks() int { return int(bt.inUse.Load()) }
+
+// BudgetRemaining returns how many more blocks the heap budget allows,
+// counting both main-space blocks in use and large-object blocks.
+func (bt *BlockTable) BudgetRemaining() int {
+	used := int(bt.inUse.Load()) + bt.los.BlocksInUse()
+	return bt.budgetBlocks - used
+}
+
+// AcquireClean hands out a completely free block, trying the clean
+// buffer first, then the free list. Returns false when the heap budget
+// or the free list is exhausted.
+func (bt *BlockTable) AcquireClean() (int, bool) {
+	if bt.BudgetRemaining() <= 0 {
+		return 0, false
+	}
+	return bt.acquireCleanAny()
+}
+
+// AcquireCleanNoBudget hands out a free block ignoring the heap budget
+// (bounded by the arena's physical main-space size). Evacuation uses it
+// as a to-space reserve: a collection must not fail for lack of copy
+// space while physically free blocks exist — the space drains right
+// back when the evacuated blocks are freed at the end of the pause.
+func (bt *BlockTable) AcquireCleanNoBudget() (int, bool) {
+	return bt.acquireCleanAny()
+}
+
+func (bt *BlockTable) acquireCleanAny() (int, bool) {
+	// Fast path: the bounded clean buffer.
+	for i := range bt.cleanBuf {
+		if idx := bt.cleanBuf[i].Load(); idx != 0 {
+			if bt.cleanBuf[i].CompareAndSwap(idx, 0) {
+				bt.claim(int(idx), StateReserved)
+				bt.freeCount.Add(-1)
+				if bt.Trace != nil {
+					bt.Trace(int(idx), "acquire-clean-buf")
+				}
+				return int(idx), true
+			}
+		}
+	}
+	idx, ok := bt.popList(&bt.freeHead)
+	if !ok {
+		return 0, false
+	}
+	bt.claim(idx, StateReserved)
+	bt.freeCount.Add(-1)
+	if bt.Trace != nil {
+		bt.Trace(idx, "acquire-clean")
+	}
+	return idx, true
+}
+
+// AcquireRecycled hands out a partially free block from the recycled
+// list. Recycled blocks are already counted against the heap budget
+// (they hold live objects), so reusing their free lines is always
+// allowed — this is what lets Immix absorb allocation without consuming
+// clean blocks.
+func (bt *BlockTable) AcquireRecycled() (int, bool) {
+	for {
+		idx, ok := bt.popList(&bt.recyHead)
+		if !ok {
+			return 0, false
+		}
+		bt.recyCount.Add(-1)
+		// Validate: a block may have changed state since being listed.
+		if bt.State(idx) == StateRecycled {
+			bt.SetState(idx, StateReserved)
+			if bt.Trace != nil {
+				bt.Trace(idx, "acquire-recycled")
+			}
+			return idx, true
+		}
+	}
+}
+
+func (bt *BlockTable) claim(idx int, s uint32) {
+	bt.SetState(idx, s)
+	bt.inUse.Add(1)
+}
+
+// ReleaseFree returns a block to the clean pool (buffer first, then the
+// free list). The caller must have removed all objects from it.
+func (bt *BlockTable) ReleaseFree(idx int) {
+	if bt.Trace != nil {
+		bt.Trace(idx, "release-free")
+	}
+	bt.ClearFlag(idx, FlagYoung|FlagDirty|FlagDefrag|FlagEvacuating)
+	bt.SetState(idx, StateFree)
+	bt.inUse.Add(-1)
+	bt.freeCount.Add(1)
+	for i := range bt.cleanBuf {
+		if bt.cleanBuf[i].Load() == 0 && bt.cleanBuf[i].CompareAndSwap(0, uint32(idx)) {
+			return
+		}
+	}
+	bt.pushList(&bt.freeHead, idx)
+}
+
+// ReleaseRecycled puts a partially free block on the recycled list. The
+// block still holds live objects and remains counted as in use.
+func (bt *BlockTable) ReleaseRecycled(idx int) {
+	if bt.Trace != nil {
+		bt.Trace(idx, "release-recycled")
+	}
+	bt.ClearFlag(idx, FlagYoung|FlagDirty)
+	bt.SetState(idx, StateRecycled)
+	bt.recyCount.Add(1)
+	bt.pushList(&bt.recyHead, idx)
+}
+
+// Retire marks a block full (still counted in use).
+func (bt *BlockTable) Retire(idx int) {
+	if bt.Trace != nil {
+		bt.Trace(idx, "retire")
+	}
+	bt.SetState(idx, StateFull)
+}
+
+// --- dirty block tracking ----------------------------------------------------
+
+// NoteDirty records that a block received new allocation since the last
+// collection, so the next RC pause must sweep it.
+func (bt *BlockTable) NoteDirty(idx int) {
+	bt.dirtyMu.Lock()
+	if !bt.dirtySet[idx] {
+		bt.dirtySet[idx] = true
+		bt.dirty = append(bt.dirty, idx)
+	}
+	bt.dirtyMu.Unlock()
+	bt.SetFlag(idx, FlagDirty)
+}
+
+// TakeDirty returns and clears the set of dirty blocks.
+func (bt *BlockTable) TakeDirty() []int {
+	bt.dirtyMu.Lock()
+	defer bt.dirtyMu.Unlock()
+	d := bt.dirty
+	bt.dirty = nil
+	for _, idx := range d {
+		bt.dirtySet[idx] = false
+	}
+	return d
+}
+
+// BlockClass is the sweep classification used by RebuildFromSweep.
+type BlockClass int
+
+const (
+	// ClassFree marks a block with no live data.
+	ClassFree BlockClass = iota
+	// ClassPartial marks a block with some free lines.
+	ClassPartial
+	// ClassFull marks a fully live block.
+	ClassFull
+)
+
+// RebuildFromSweep rebuilds the free and recycled lists from scratch
+// after a full stop-the-world sweep: classify is invoked for every
+// main-space block and returns its post-collection class. Must be
+// called with the world stopped and all allocators flushed.
+func (bt *BlockTable) RebuildFromSweep(classify func(idx int) BlockClass) {
+	// Drain the lists and the clean buffer.
+	for {
+		if _, ok := bt.popList(&bt.freeHead); !ok {
+			break
+		}
+	}
+	for {
+		if _, ok := bt.popList(&bt.recyHead); !ok {
+			break
+		}
+	}
+	for i := range bt.cleanBuf {
+		bt.cleanBuf[i].Store(0)
+	}
+	free, recy, inUse := 0, 0, 0
+	for i := 1; i <= bt.mainBlocks; i++ {
+		bt.ClearFlag(i, FlagYoung|FlagDirty|FlagDefrag|FlagEvacuating)
+		switch classify(i) {
+		case ClassFree:
+			bt.SetState(i, StateFree)
+			bt.pushList(&bt.freeHead, i)
+			free++
+		case ClassPartial:
+			bt.SetState(i, StateRecycled)
+			bt.pushList(&bt.recyHead, i)
+			recy++
+			inUse++
+		default:
+			bt.SetState(i, StateFull)
+			inUse++
+		}
+	}
+	bt.freeCount.Store(int32(free))
+	bt.recyCount.Store(int32(recy))
+	bt.inUse.Store(int32(inUse))
+	bt.dirtyMu.Lock()
+	for _, idx := range bt.dirty {
+		bt.dirtySet[idx] = false
+	}
+	bt.dirty = nil
+	bt.dirtyMu.Unlock()
+}
+
+// AllBlocks invokes f for every main-space block index.
+func (bt *BlockTable) AllBlocks(f func(idx int)) {
+	for i := 1; i <= bt.mainBlocks; i++ {
+		f(i)
+	}
+}
+
+// String summarises occupancy for debugging.
+func (bt *BlockTable) String() string {
+	return fmt.Sprintf("blocks{free=%d recycled=%d inUse=%d los=%d budget=%d}",
+		bt.FreeBlocks(), bt.RecycledBlocks(), bt.InUseBlocks(), bt.los.BlocksInUse(), bt.budgetBlocks)
+}

@@ -1,0 +1,328 @@
+package immix_test
+
+import (
+	"sync"
+	"testing"
+
+	"lxr/internal/immix"
+	"lxr/internal/mem"
+)
+
+func table(t *testing.T, heapMB int) *immix.BlockTable {
+	t.Helper()
+	return immix.NewBlockTable(immix.Config{HeapBytes: heapMB << 20})
+}
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	bt := table(t, 4)
+	free0 := bt.FreeBlocks()
+	idx, ok := bt.AcquireClean()
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	if bt.State(idx) != immix.StateReserved {
+		t.Fatal("acquired block not reserved")
+	}
+	if bt.FreeBlocks() != free0-1 || bt.InUseBlocks() != 1 {
+		t.Fatal("counters wrong after acquire")
+	}
+	bt.Retire(idx)
+	if bt.State(idx) != immix.StateFull {
+		t.Fatal("retire failed")
+	}
+	bt.ReleaseFree(idx)
+	if bt.State(idx) != immix.StateFree || bt.FreeBlocks() != free0 || bt.InUseBlocks() != 0 {
+		t.Fatal("release failed")
+	}
+}
+
+func TestRecycledListValidatesState(t *testing.T) {
+	bt := table(t, 4)
+	idx, _ := bt.AcquireClean()
+	bt.Retire(idx)
+	bt.ReleaseRecycled(idx)
+	// Corrupt: free it behind the list's back (simulates a sweep racing
+	// an old listing); the stale entry must be discarded on pop.
+	bt.SetState(idx, immix.StateFree)
+	if got, ok := bt.AcquireRecycled(); ok && got == idx {
+		t.Fatal("stale recycled entry handed out")
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	bt := table(t, 1) // 32 blocks
+	n := 0
+	for {
+		if _, ok := bt.AcquireClean(); !ok {
+			break
+		}
+		n++
+	}
+	if n != bt.BudgetBlocks() {
+		t.Fatalf("acquired %d blocks, budget %d", n, bt.BudgetBlocks())
+	}
+}
+
+func TestParallelAcquireUnique(t *testing.T) {
+	bt := table(t, 8)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx, ok := bt.AcquireClean()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[idx] {
+					mu.Unlock()
+					panic("block handed out twice")
+				}
+				seen[idx] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != bt.BudgetBlocks() {
+		t.Fatalf("unique blocks %d != budget %d", len(seen), bt.BudgetBlocks())
+	}
+}
+
+func TestFlags(t *testing.T) {
+	bt := table(t, 2)
+	idx, _ := bt.AcquireClean()
+	bt.SetFlag(idx, immix.FlagYoung|immix.FlagDirty)
+	if !bt.HasFlag(idx, immix.FlagYoung) || !bt.HasFlag(idx, immix.FlagDirty) {
+		t.Fatal("flags not set")
+	}
+	bt.ClearFlag(idx, immix.FlagYoung)
+	if bt.HasFlag(idx, immix.FlagYoung) || !bt.HasFlag(idx, immix.FlagDirty) {
+		t.Fatal("selective clear failed")
+	}
+	bt.SetKind(idx, 3)
+	if bt.Kind(idx) != 3 {
+		t.Fatal("kind lost")
+	}
+	if bt.State(idx) != immix.StateReserved {
+		t.Fatal("state disturbed by flags")
+	}
+}
+
+func TestDirtyTrackingDedups(t *testing.T) {
+	bt := table(t, 2)
+	idx, _ := bt.AcquireClean()
+	bt.NoteDirty(idx)
+	bt.NoteDirty(idx)
+	d := bt.TakeDirty()
+	if len(d) != 1 || d[0] != idx {
+		t.Fatalf("dirty list %v", d)
+	}
+	if len(bt.TakeDirty()) != 0 {
+		t.Fatal("TakeDirty did not clear")
+	}
+}
+
+// --- allocator -----------------------------------------------------------------
+
+type allLinesFree struct{}
+
+func (allLinesFree) LineFree(int) bool { return true }
+
+func TestBumpAllocatorBasics(t *testing.T) {
+	bt := table(t, 2)
+	al := immix.Allocator{BT: bt}
+	a, ok := al.Alloc(64)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	b, _ := al.Alloc(64)
+	if b != a+64 {
+		t.Fatalf("not bump allocated: %x then %x", a, b)
+	}
+	if al.Allocated != 128 {
+		t.Fatal("accounting wrong")
+	}
+	al.Flush()
+	if bt.State(a.Block()) != immix.StateFull {
+		t.Fatal("flush must retire the block")
+	}
+}
+
+func TestAllocatorZeroesMemory(t *testing.T) {
+	bt := table(t, 2)
+	al := immix.Allocator{BT: bt}
+	a, _ := al.Alloc(128)
+	bt.Arena.Store(a, 0xff)
+	al.Flush()
+	bt.ReleaseFree(a.Block())
+	al2 := immix.Allocator{BT: bt}
+	for {
+		b, ok := al2.Alloc(128)
+		if !ok {
+			t.Fatal("heap exhausted before reuse")
+		}
+		if b == a {
+			if bt.Arena.Load(b) != 0 {
+				t.Fatal("reused memory not zeroed")
+			}
+			return
+		}
+	}
+}
+
+func TestRecycledLineSkipRule(t *testing.T) {
+	bt := table(t, 2)
+	// Build a line map: lines 0-2 used, 3-7 free, rest used.
+	used := map[int]bool{}
+	idx, _ := bt.AcquireClean()
+	base := idx * mem.LinesPerBlock
+	for l := 0; l < mem.LinesPerBlock; l++ {
+		used[base+l] = !(l >= 3 && l <= 7)
+	}
+	bt.Retire(idx)
+	bt.ReleaseRecycled(idx)
+
+	lm := mapLines{used}
+	al := immix.Allocator{BT: bt, Lines: lm, UseRecycled: true}
+	a, ok := al.Alloc(64)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	// The first free line (3) follows a used line and must be skipped
+	// (conservative straddle rule): allocation starts at line 4.
+	if got := a.LineInBlock(); got != 4 {
+		t.Fatalf("allocation started at line %d, want 4", got)
+	}
+}
+
+type mapLines struct{ used map[int]bool }
+
+func (m mapLines) LineFree(idx int) bool { return !m.used[idx] }
+
+func TestOverflowAllocationZeroes(t *testing.T) {
+	bt := table(t, 2)
+	used := map[int]bool{}
+	idx, _ := bt.AcquireClean()
+	base := idx * mem.LinesPerBlock
+	// Two free lines at 10-11 (span of 256B after skip); everything
+	// else used, forcing a medium object to overflow.
+	for l := 0; l < mem.LinesPerBlock; l++ {
+		used[base+l] = !(l == 10 || l == 11)
+	}
+	bt.Retire(idx)
+	bt.ReleaseRecycled(idx)
+
+	var spans [][2]mem.Address
+	al := immix.Allocator{BT: bt, Lines: mapLines{used}, UseRecycled: true,
+		OnSpan: func(s, e mem.Address, r bool) { spans = append(spans, [2]mem.Address{s, e}) }}
+	small, ok := al.Alloc(64) // lands in the recycled span
+	if !ok || small.Block() != idx {
+		t.Fatalf("small alloc misplaced: %x ok=%v", small, ok)
+	}
+	med, ok := al.Alloc(1024) // does not fit the span: overflow block
+	if !ok {
+		t.Fatal("medium alloc failed")
+	}
+	if med.Block() == idx {
+		t.Fatal("medium object should have gone to an overflow block")
+	}
+	if bt.Arena.Load(med) != 0 {
+		t.Fatal("overflow memory not zeroed")
+	}
+	if len(spans) < 2 {
+		t.Fatal("overflow span must be reported via OnSpan")
+	}
+}
+
+// --- large object space -----------------------------------------------------
+
+func TestLOSAllocFree(t *testing.T) {
+	bt := table(t, 4)
+	los := bt.LOS()
+	a, ok := los.Alloc(40 << 10) // 2 blocks
+	if !ok {
+		t.Fatal("los alloc failed")
+	}
+	if los.BlocksInUse() != 2 {
+		t.Fatalf("blocks in use %d", los.BlocksInUse())
+	}
+	if !los.Contains(a) {
+		t.Fatal("Contains false for live object")
+	}
+	if los.Count() != 1 {
+		t.Fatal("count wrong")
+	}
+	los.Free(a)
+	if los.BlocksInUse() != 0 || los.Count() != 0 {
+		t.Fatal("free failed")
+	}
+}
+
+func TestLOSCoalescesRuns(t *testing.T) {
+	bt := table(t, 4)
+	los := bt.LOS()
+	a, _ := los.Alloc(40 << 10)
+	b, _ := los.Alloc(40 << 10)
+	c, _ := los.Alloc(40 << 10)
+	los.Free(b)
+	los.Free(a) // coalesce with b's run
+	los.Free(c) // coalesce on the other side
+	// After coalescing a large allocation spanning all three must fit.
+	if _, ok := los.Alloc(3 * 40 << 10); !ok {
+		t.Fatal("runs did not coalesce")
+	}
+}
+
+func TestLOSRespectsBudget(t *testing.T) {
+	bt := table(t, 1) // 32-block budget
+	los := bt.LOS()
+	total := 0
+	for {
+		if _, ok := los.Alloc(64 << 10); !ok {
+			break
+		}
+		total += 2
+	}
+	if total > bt.BudgetBlocks() {
+		t.Fatalf("LOS exceeded budget: %d blocks", total)
+	}
+}
+
+func TestRebuildFromSweep(t *testing.T) {
+	bt := table(t, 1)
+	var held []int
+	for i := 0; i < 6; i++ {
+		idx, _ := bt.AcquireClean()
+		bt.Retire(idx)
+		held = append(held, idx)
+	}
+	bt.RebuildFromSweep(func(idx int) immix.BlockClass {
+		switch {
+		case idx == held[0]:
+			return immix.ClassFree
+		case idx == held[1]:
+			return immix.ClassPartial
+		case idx <= held[5] && idx >= held[0]:
+			return immix.ClassFull
+		default:
+			return immix.ClassFree
+		}
+	})
+	if bt.State(held[0]) != immix.StateFree {
+		t.Fatal("rebuild free failed")
+	}
+	if bt.State(held[1]) != immix.StateRecycled {
+		t.Fatal("rebuild partial failed")
+	}
+	if bt.State(held[2]) != immix.StateFull {
+		t.Fatal("rebuild full failed")
+	}
+	if got, ok := bt.AcquireRecycled(); !ok || got != held[1] {
+		t.Fatal("rebuilt recycled list broken")
+	}
+}

@@ -1,0 +1,205 @@
+// Package mem provides the simulated heap memory substrate: a contiguous
+// word-addressed arena carved into Immix-sized blocks and lines.
+//
+// All garbage-collected "objects" in this repository live inside an Arena
+// and are referred to by an Address, a byte offset from the arena base.
+// Address 0 is reserved as the nil reference: block 0 of every arena is
+// never handed to an allocator.
+//
+// The arena is backed by a []uint64 so that reference slots, object
+// headers, and forwarding words can be accessed with the atomic operations
+// required by concurrent collectors (SATB barriers, concurrent evacuation).
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Heap geometry. These mirror the constants used by Immix and LXR
+// (Blackburn & McKinley 2008; Zhao, Blackburn & McKinley 2022): 32 KB
+// blocks composed of 256 B lines, with a 16 B allocation granule.
+const (
+	// WordLog is log2 of the machine word size in bytes.
+	WordLog = 3
+	// WordSize is the machine word size in bytes.
+	WordSize = 1 << WordLog
+
+	// BlockSizeLog is log2 of the Immix block size.
+	BlockSizeLog = 15
+	// BlockSize is the Immix block size in bytes (32 KB).
+	BlockSize = 1 << BlockSizeLog
+
+	// LineSizeLog is log2 of the Immix line size.
+	LineSizeLog = 8
+	// LineSize is the Immix line size in bytes (256 B).
+	LineSize = 1 << LineSizeLog
+
+	// LinesPerBlock is the number of lines in a block (128).
+	LinesPerBlock = BlockSize / LineSize
+
+	// GranuleLog is log2 of the allocation granule.
+	GranuleLog = 4
+	// Granule is the allocation granule in bytes: the minimum object
+	// size and alignment. The reference-count table keeps one 2-bit
+	// count per granule.
+	Granule = 1 << GranuleLog
+
+	// GranulesPerLine is the number of RC granules per line (16).
+	GranulesPerLine = LineSize / Granule
+	// GranulesPerBlock is the number of RC granules per block (2048).
+	GranulesPerBlock = BlockSize / Granule
+
+	// WordsPerBlock is the number of 8-byte words in a block.
+	WordsPerBlock = BlockSize / WordSize
+	// WordsPerLine is the number of 8-byte words in a line.
+	WordsPerLine = LineSize / WordSize
+)
+
+// Address is a byte offset into an Arena. The zero Address is the nil
+// reference.
+type Address uint64
+
+// Nil is the null reference.
+const Nil Address = 0
+
+// IsNil reports whether a is the nil reference.
+func (a Address) IsNil() bool { return a == 0 }
+
+// Block returns the index of the block containing a.
+func (a Address) Block() int { return int(a >> BlockSizeLog) }
+
+// Line returns the global line index (across the whole arena) of the line
+// containing a.
+func (a Address) Line() int { return int(a >> LineSizeLog) }
+
+// LineInBlock returns the index within its block of the line containing a.
+func (a Address) LineInBlock() int { return int(a>>LineSizeLog) & (LinesPerBlock - 1) }
+
+// Granule returns the global granule index of the granule containing a.
+func (a Address) Granule() int { return int(a >> GranuleLog) }
+
+// Word returns the global word index of the word containing a.
+func (a Address) Word() int { return int(a >> WordLog) }
+
+// BlockOffset returns the byte offset of a within its block.
+func (a Address) BlockOffset() int { return int(a & (BlockSize - 1)) }
+
+// Plus returns the address advanced by n bytes.
+func (a Address) Plus(n int) Address { return a + Address(n) }
+
+// AlignUp rounds a up to the given power-of-two alignment.
+func (a Address) AlignUp(align int) Address {
+	return (a + Address(align) - 1) &^ (Address(align) - 1)
+}
+
+// BlockStart returns the address of the first byte of block idx.
+func BlockStart(idx int) Address { return Address(idx) << BlockSizeLog }
+
+// LineStart returns the address of the first byte of global line idx.
+func LineStart(idx int) Address { return Address(idx) << LineSizeLog }
+
+// GranuleStart returns the address of the first byte of global granule idx.
+func GranuleStart(idx int) Address { return Address(idx) << GranuleLog }
+
+// Arena is a contiguous simulated heap. It is safe for concurrent use:
+// word accesses use sync/atomic so that mutator threads and collector
+// threads may race on reference slots exactly the way a real runtime does.
+type Arena struct {
+	words  []uint64
+	size   Address // size in bytes
+	blocks int
+}
+
+// NewArena creates an arena with at least size bytes of usable heap.
+// The size is rounded up to a whole number of blocks, plus one extra
+// reserved block so that Address 0 is never a valid object address.
+func NewArena(size int) *Arena {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: invalid arena size %d", size))
+	}
+	blocks := (size + BlockSize - 1) / BlockSize
+	blocks++ // reserve block 0 for the nil address
+	return &Arena{
+		words:  make([]uint64, blocks*WordsPerBlock),
+		size:   Address(blocks) << BlockSizeLog,
+		blocks: blocks,
+	}
+}
+
+// Size returns the arena size in bytes, including the reserved block.
+func (a *Arena) Size() int { return int(a.size) }
+
+// Blocks returns the total number of blocks, including reserved block 0.
+func (a *Arena) Blocks() int { return a.blocks }
+
+// UsableBlocks returns the number of blocks available to allocators.
+func (a *Arena) UsableBlocks() int { return a.blocks - 1 }
+
+// FirstUsableBlock returns the index of the first block allocators may use.
+func (a *Arena) FirstUsableBlock() int { return 1 }
+
+// Contains reports whether addr lies within the arena (and is non-nil).
+func (a *Arena) Contains(addr Address) bool {
+	return addr > 0 && addr < a.size
+}
+
+// Load reads the word at addr. addr must be word aligned.
+func (a *Arena) Load(addr Address) uint64 {
+	return atomic.LoadUint64(&a.words[addr>>WordLog])
+}
+
+// Store writes the word at addr. addr must be word aligned.
+func (a *Arena) Store(addr Address, v uint64) {
+	atomic.StoreUint64(&a.words[addr>>WordLog], v)
+}
+
+// CAS performs a compare-and-swap on the word at addr.
+func (a *Arena) CAS(addr Address, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&a.words[addr>>WordLog], old, new)
+}
+
+// LoadRef reads a reference slot at addr.
+func (a *Arena) LoadRef(addr Address) Address {
+	return Address(a.Load(addr))
+}
+
+// StoreRef writes a reference slot at addr.
+func (a *Arena) StoreRef(addr Address, v Address) {
+	a.Store(addr, uint64(v))
+}
+
+// Zero clears n bytes starting at addr. addr and n must be word aligned.
+// This is the bulk-zeroing path used when blocks or line spans are handed
+// to allocators.
+func (a *Arena) Zero(addr Address, n int) {
+	w := int(addr >> WordLog)
+	end := w + n/WordSize
+	clear(a.words[w:end])
+}
+
+// ZeroRange clears the bytes in [start, end).
+func (a *Arena) ZeroRange(start, end Address) {
+	a.Zero(start, int(end-start))
+}
+
+// Copy copies n bytes from src to dst. Both must be word aligned. It is
+// used for object evacuation; per-word copies keep the operation cheap
+// while still touching real memory.
+func (a *Arena) Copy(dst, src Address, n int) {
+	dw := int(dst >> WordLog)
+	sw := int(src >> WordLog)
+	copy(a.words[dw:dw+n/WordSize], a.words[sw:sw+n/WordSize])
+}
+
+// Checksum computes a simple additive checksum over [start, start+n).
+// It exists so that tests and workloads can "use" payload data, forcing
+// real memory traffic through caches the way benchmark kernels do.
+func (a *Arena) Checksum(start Address, n int) uint64 {
+	w := int(start >> WordLog)
+	var sum uint64
+	for _, v := range a.words[w : w+n/WordSize] {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,290 @@
+// Package meta implements the side metadata tables LXR keeps off to the
+// side of the heap: the 2-bit reference-count table, the unlogged bits
+// used by the field-logging write barrier, SATB mark bits, and per-line
+// reuse counters used to validate remembered-set entries.
+//
+// All tables are addressed by arena geometry (granule, word, or line
+// index) so that metadata for an object is reachable from its address
+// with simple arithmetic, exactly as the paper requires (§3.2.1).
+package meta
+
+import (
+	"sync/atomic"
+
+	"lxr/internal/mem"
+)
+
+// RC count encoding: 2 bits per 16-byte granule.
+const (
+	// RCBits is the number of bits per reference count.
+	RCBits = 2
+	// RCMax is the "stuck" value: counts that reach RCMax stop moving
+	// and the object is handed over to the SATB trace for reclamation.
+	RCMax = (1 << RCBits) - 1 // 3
+
+	countsPerWord = 32 / RCBits // 16 counts per uint32
+)
+
+// RCTable holds one 2-bit reference count per granule. A line's worth of
+// counts (16 granules × 2 bits) is exactly one uint32, so "is this line
+// free" is a single load — the property the Immix line allocator scans.
+type RCTable struct {
+	words []uint32
+}
+
+// NewRCTable creates an RC table covering the whole arena.
+func NewRCTable(a *mem.Arena) *RCTable {
+	nGranules := a.Size() / mem.Granule
+	return &RCTable{words: make([]uint32, nGranules/countsPerWord)}
+}
+
+func rcIndex(addr mem.Address) (word int, shift uint) {
+	g := addr.Granule()
+	return g / countsPerWord, uint(g%countsPerWord) * RCBits
+}
+
+// Get returns the reference count recorded for the granule containing addr.
+func (t *RCTable) Get(addr mem.Address) uint32 {
+	w, s := rcIndex(addr)
+	return (atomic.LoadUint32(&t.words[w]) >> s) & RCMax
+}
+
+// Inc atomically increments the count for addr, saturating at RCMax
+// ("stuck"). It returns the value before the increment.
+func (t *RCTable) Inc(addr mem.Address) uint32 {
+	w, s := rcIndex(addr)
+	for {
+		old := atomic.LoadUint32(&t.words[w])
+		c := (old >> s) & RCMax
+		if c == RCMax {
+			return c // stuck: no further increments
+		}
+		if atomic.CompareAndSwapUint32(&t.words[w], old, old+(1<<s)) {
+			return c
+		}
+	}
+}
+
+// Dec atomically decrements the count for addr. Stuck counts (RCMax) and
+// already-zero counts are left unchanged. It returns the value before the
+// decrement.
+func (t *RCTable) Dec(addr mem.Address) uint32 {
+	w, s := rcIndex(addr)
+	for {
+		old := atomic.LoadUint32(&t.words[w])
+		c := (old >> s) & RCMax
+		if c == RCMax || c == 0 {
+			return c // stuck or already dead
+		}
+		if atomic.CompareAndSwapUint32(&t.words[w], old, old-(1<<s)) {
+			return c
+		}
+	}
+}
+
+// Set stores an exact count for addr (used for straddle-line markers and
+// for clearing the counts of SATB-identified dead objects).
+func (t *RCTable) Set(addr mem.Address, v uint32) {
+	w, s := rcIndex(addr)
+	for {
+		old := atomic.LoadUint32(&t.words[w])
+		new := (old &^ (RCMax << s)) | (v << s)
+		if atomic.CompareAndSwapUint32(&t.words[w], old, new) {
+			return
+		}
+	}
+}
+
+// IsStuck reports whether the count for addr is pinned at RCMax.
+func (t *RCTable) IsStuck(addr mem.Address) bool { return t.Get(addr) == RCMax }
+
+// LineWord returns the raw uint32 holding all counts for global line idx.
+// A zero value means every granule on the line is free.
+func (t *RCTable) LineWord(idx int) uint32 {
+	return atomic.LoadUint32(&t.words[idx])
+}
+
+// LineFree reports whether global line idx holds no counted objects.
+func (t *RCTable) LineFree(idx int) bool { return t.LineWord(idx) == 0 }
+
+// ClearLine zeroes every count on global line idx.
+func (t *RCTable) ClearLine(idx int) { atomic.StoreUint32(&t.words[idx], 0) }
+
+// ClearBlock zeroes every count in block idx.
+func (t *RCTable) ClearBlock(idx int) {
+	first := idx * mem.LinesPerBlock
+	for i := first; i < first+mem.LinesPerBlock; i++ {
+		atomic.StoreUint32(&t.words[i], 0)
+	}
+}
+
+// ClearRange zeroes the counts of every granule in [start, end).
+func (t *RCTable) ClearRange(start, end mem.Address) {
+	for a := start; a < end; a += mem.Granule {
+		t.Set(a, 0)
+	}
+}
+
+// BlockLiveGranules counts granules in block idx with a non-zero count.
+// It is the occupancy upper bound the evacuation-set selector uses.
+func (t *RCTable) BlockLiveGranules(idx int) int {
+	first := idx * mem.LinesPerBlock
+	live := 0
+	for i := first; i < first+mem.LinesPerBlock; i++ {
+		w := atomic.LoadUint32(&t.words[i])
+		for w != 0 {
+			if w&RCMax != 0 {
+				live++
+			}
+			w >>= RCBits
+		}
+	}
+	return live
+}
+
+// BitTable is a 1-bit-per-unit table with atomic set/clear/test, used for
+// unlogged bits (one per 8-byte field) and SATB mark bits (one per
+// granule).
+type BitTable struct {
+	words    []uint32
+	unitLog  uint // log2 of bytes per unit
+	unitMask uint64
+}
+
+// NewBitTable creates a bit table with one bit per 2^unitLog bytes of arena.
+func NewBitTable(a *mem.Arena, unitLog uint) *BitTable {
+	units := a.Size() >> unitLog
+	return &BitTable{
+		words:   make([]uint32, (units+31)/32),
+		unitLog: unitLog,
+	}
+}
+
+func (t *BitTable) index(addr mem.Address) (int, uint32) {
+	u := uint64(addr) >> t.unitLog
+	return int(u / 32), uint32(1) << (u % 32)
+}
+
+// Get reports whether the bit for addr is set.
+func (t *BitTable) Get(addr mem.Address) bool {
+	w, m := t.index(addr)
+	return atomic.LoadUint32(&t.words[w])&m != 0
+}
+
+// Set sets the bit for addr.
+func (t *BitTable) Set(addr mem.Address) {
+	w, m := t.index(addr)
+	for {
+		old := atomic.LoadUint32(&t.words[w])
+		if old&m != 0 || atomic.CompareAndSwapUint32(&t.words[w], old, old|m) {
+			return
+		}
+	}
+}
+
+// Clear clears the bit for addr.
+func (t *BitTable) Clear(addr mem.Address) {
+	w, m := t.index(addr)
+	for {
+		old := atomic.LoadUint32(&t.words[w])
+		if old&m == 0 || atomic.CompareAndSwapUint32(&t.words[w], old, old&^m) {
+			return
+		}
+	}
+}
+
+// TrySet atomically sets the bit for addr and reports whether this call
+// was the one that set it (false if it was already set). This is the
+// "attempt to mark" operation of parallel tracers.
+func (t *BitTable) TrySet(addr mem.Address) bool {
+	w, m := t.index(addr)
+	for {
+		old := atomic.LoadUint32(&t.words[w])
+		if old&m != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&t.words[w], old, old|m) {
+			return true
+		}
+	}
+}
+
+// TryClear atomically clears the bit for addr and reports whether this
+// call cleared it (false if it was already clear). It implements the
+// synchronized attemptToLog() of the field-logging barrier (Fig. 3):
+// the winner captures the to-be-overwritten value.
+func (t *BitTable) TryClear(addr mem.Address) bool {
+	w, m := t.index(addr)
+	for {
+		old := atomic.LoadUint32(&t.words[w])
+		if old&m == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&t.words[w], old, old&^m) {
+			return true
+		}
+	}
+}
+
+// ClearAll clears every bit in the table.
+func (t *BitTable) ClearAll() {
+	for i := range t.words {
+		atomic.StoreUint32(&t.words[i], 0)
+	}
+}
+
+// SetRange sets the bit for every unit whose start lies in [start, end).
+func (t *BitTable) SetRange(start, end mem.Address) {
+	step := mem.Address(1) << t.unitLog
+	for a := start; a < end; a += step {
+		t.Set(a)
+	}
+}
+
+// ClearRange clears the bit for every unit whose start lies in [start, end).
+func (t *BitTable) ClearRange(start, end mem.Address) {
+	step := mem.Address(1) << t.unitLog
+	for a := start; a < end; a += step {
+		t.Clear(a)
+	}
+}
+
+// LineCounters keeps one 32-bit counter per line. LXR uses it for the
+// line reuse counters that guard against stale remembered-set entries
+// (§3.3.2): counters are bumped when a line is handed out for reuse and
+// reset at each SATB start; a remset entry tagged with an older count is
+// discarded at evacuation time.
+type LineCounters struct {
+	counts []uint32
+}
+
+// NewLineCounters creates per-line counters for the whole arena.
+func NewLineCounters(a *mem.Arena) *LineCounters {
+	return &LineCounters{counts: make([]uint32, a.Size()/mem.LineSize)}
+}
+
+// Get returns the counter for global line idx.
+func (c *LineCounters) Get(idx int) uint32 { return atomic.LoadUint32(&c.counts[idx]) }
+
+// GetAddr returns the counter for the line containing addr.
+func (c *LineCounters) GetAddr(addr mem.Address) uint32 { return c.Get(addr.Line()) }
+
+// Bump increments the counter for global line idx.
+func (c *LineCounters) Bump(idx int) { atomic.AddUint32(&c.counts[idx], 1) }
+
+// BumpRange increments the counter of every line in [start, end).
+func (c *LineCounters) BumpRange(start, end mem.Address) {
+	for l := start.Line(); l < end.AlignUp(mem.LineSize).Line(); l++ {
+		c.Bump(l)
+	}
+}
+
+// Reset zeroes the counter for global line idx.
+func (c *LineCounters) Reset(idx int) { atomic.StoreUint32(&c.counts[idx], 0) }
+
+// ResetAll zeroes every counter. Called at each SATB start.
+func (c *LineCounters) ResetAll() {
+	for i := range c.counts {
+		atomic.StoreUint32(&c.counts[i], 0)
+	}
+}

@@ -1,0 +1,123 @@
+// Package remset implements LXR's RC remembered sets (§3.3.2): per
+// evacuation-set records of the locations of incoming references, each
+// tagged with the reuse counter of the source line so that stale entries
+// (whose containing line has been reclaimed and reallocated since the
+// entry was created) can be discarded at evacuation time.
+package remset
+
+import (
+	"sync"
+
+	"lxr/internal/mem"
+	"lxr/internal/meta"
+)
+
+// Entry records one incoming reference: the address of the slot holding
+// it and the reuse count of the slot's line when the entry was created.
+type Entry struct {
+	Slot mem.Address
+	Tag  uint32
+}
+
+// Set is one remembered set. LXR uses either a single whole-heap set or
+// one per 4 MB region (§3.3.2); the Table below handles the mapping.
+type Set struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+func (s *Set) add(e Entry) {
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+}
+
+// Take removes and returns all entries.
+func (s *Set) Take() []Entry {
+	s.mu.Lock()
+	e := s.entries
+	s.entries = nil
+	s.mu.Unlock()
+	return e
+}
+
+// Len returns the entry count.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Table maps evacuation-set regions to their remembered sets. With
+// RegionBlocks == 0 a single whole-heap set is used (the paper's default
+// configuration).
+type Table struct {
+	reuse        *meta.LineCounters
+	RegionBlocks int
+	whole        Set
+	regions      map[int]*Set // region index -> set
+	mu           sync.Mutex
+}
+
+// NewTable creates a remembered-set table. reuse supplies per-line reuse
+// counters; regionBlocks selects regional sets (0 = single set).
+func NewTable(reuse *meta.LineCounters, regionBlocks int) *Table {
+	return &Table{reuse: reuse, RegionBlocks: regionBlocks, regions: make(map[int]*Set)}
+}
+
+// Record notes that slot holds a reference into the evacuation set whose
+// target block is targetBlock. The entry is tagged with the current
+// reuse count of the slot's line.
+func (t *Table) Record(slot mem.Address, targetBlock int) {
+	e := Entry{Slot: slot, Tag: t.reuse.GetAddr(slot)}
+	t.setFor(targetBlock).add(e)
+}
+
+func (t *Table) setFor(block int) *Set {
+	if t.RegionBlocks == 0 {
+		return &t.whole
+	}
+	r := block / t.RegionBlocks
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.regions[r]
+	if !ok {
+		s = &Set{}
+		t.regions[r] = s
+	}
+	return s
+}
+
+// TakeAll removes and returns every entry across all sets.
+func (t *Table) TakeAll() []Entry {
+	out := t.whole.Take()
+	t.mu.Lock()
+	regions := make([]*Set, 0, len(t.regions))
+	for _, s := range t.regions {
+		regions = append(regions, s)
+	}
+	t.regions = make(map[int]*Set)
+	t.mu.Unlock()
+	for _, s := range regions {
+		out = append(out, s.Take()...)
+	}
+	return out
+}
+
+// Valid reports whether an entry is still trustworthy: the slot's line
+// must not have been reused since the entry was created. Stale entries
+// could point at non-pointer data, so they are discarded (§3.3.2).
+func (t *Table) Valid(e Entry) bool {
+	return t.reuse.GetAddr(e.Slot) == e.Tag
+}
+
+// Len returns the total number of entries across all sets.
+func (t *Table) Len() int {
+	n := t.whole.Len()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.regions {
+		n += s.Len()
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+// Package satb implements a snapshot-at-the-beginning concurrent tracing
+// engine (Yuasa 1990) reused by LXR's backup cycle trace and by the
+// G1-like and Shenandoah-like baselines' concurrent marking.
+//
+// The tracer is owned by a single concurrent collector thread, which
+// processes work in bounded steps so it can interleave with
+// higher-priority work (LXR processes lazy decrements first, §3.2.1) and
+// yield at stop-the-world pauses. Seeds arrive from pauses via a
+// thread-safe inbox. For stop-the-world ablations the same closure can
+// be drained in parallel with a worker pool.
+package satb
+
+import (
+	"lxr/internal/gcwork"
+	"lxr/internal/mem"
+	"lxr/internal/meta"
+	"lxr/internal/obj"
+)
+
+// Tracer performs an SATB trace over the heap.
+type Tracer struct {
+	OM    obj.Model
+	Marks *meta.BitTable // one bit per granule
+
+	// Filter, when non-nil, is consulted before marking: returning
+	// false skips the reference (LXR's mature-only optimisation skips
+	// objects with a zero reference count, §3.2.2).
+	Filter func(ref obj.Ref) bool
+	// OnMark is invoked once per newly marked object (live accounting).
+	OnMark func(ref obj.Ref)
+	// OnEdge is invoked for every reference edge scanned, before the
+	// target is pushed (LXR bootstraps remembered sets here, §3.3.2).
+	OnEdge func(slot mem.Address, val obj.Ref)
+
+	inbox gcwork.SharedAddrQueue
+	stack []mem.Address
+
+	active bool
+	marked int64
+}
+
+// Begin starts a new trace epoch. Mark bits must already be clear.
+func (t *Tracer) Begin() {
+	t.active = true
+	t.marked = 0
+}
+
+// Active reports whether a trace epoch is underway.
+func (t *Tracer) Active() bool { return t.active }
+
+// Marked returns the number of objects marked so far this epoch.
+func (t *Tracer) Marked() int64 { return t.marked }
+
+// Seed enqueues snapshot references (roots captured at the trace-start
+// pause, or overwritten values captured by the write barrier). Safe to
+// call from pauses while the tracer thread is quiescent, or from the
+// tracer thread itself.
+func (t *Tracer) Seed(refs []obj.Ref) {
+	if len(refs) == 0 {
+		return
+	}
+	t.inbox.Append(refs)
+}
+
+// SeedOne enqueues a single snapshot reference.
+func (t *Tracer) SeedOne(ref obj.Ref) { t.inbox.Push(ref) }
+
+// Pending reports whether any queued work remains.
+func (t *Tracer) Pending() bool { return len(t.stack) > 0 || t.inbox.Len() > 0 }
+
+// Step processes up to budget queue items on the owner thread. It
+// returns true when the trace has no work left (the queue may refill if
+// new seeds arrive from a later pause, so completion is decided by the
+// collector, not the tracer).
+func (t *Tracer) Step(budget int) bool {
+	for budget > 0 {
+		if len(t.stack) == 0 {
+			t.stack = t.inbox.Take()
+			if len(t.stack) == 0 {
+				return true
+			}
+		}
+		n := len(t.stack)
+		ref := obj.Ref(t.stack[n-1])
+		t.stack = t.stack[:n-1]
+		t.visit(ref, func(a mem.Address) { t.stack = append(t.stack, a) })
+		budget--
+	}
+	return !t.Pending()
+}
+
+// MarkAndScan marks ref and scans its children into the trace. LXR's
+// interruption invariant uses it when reference counting finds a dead,
+// unmarked mature object mid-trace: the object is marked and scanned
+// before its memory can be reclaimed (§3.2.2). Must run on the tracer's
+// owner thread (LXR's single concurrent thread runs both duties).
+func (t *Tracer) MarkAndScan(ref obj.Ref) {
+	t.visit(ref, func(a mem.Address) { t.stack = append(t.stack, a) })
+}
+
+// visit marks ref (subject to Filter) and feeds its reference slots to
+// push.
+func (t *Tracer) visit(ref obj.Ref, push func(mem.Address)) {
+	if ref.IsNil() {
+		return
+	}
+	if t.Filter != nil && !t.Filter(ref) {
+		return
+	}
+	if !t.Marks.TrySet(ref) {
+		return
+	}
+	t.marked++
+	if t.OnMark != nil {
+		t.OnMark(ref)
+	}
+	t.OM.EachSlot(ref, func(_ int, slot mem.Address, v obj.Ref) {
+		if v.IsNil() {
+			return
+		}
+		if t.OnEdge != nil {
+			t.OnEdge(slot, v)
+		}
+		push(v)
+	})
+}
+
+// DrainParallel completes the closure using a worker pool inside a
+// pause. All hooks must be thread-safe. Used by the -SATB ablation
+// (tracing in the pause, Table 7) and by baselines' final-mark pauses.
+// The marked counter is not updated on this path; callers needing live
+// accounting should count in OnMark.
+func (t *Tracer) DrainParallel(pool *gcwork.Pool) {
+	seed := append(t.inbox.Take(), t.stack...)
+	t.stack = nil
+	pool.Drain(seed, nil, func(w *gcwork.Worker, a mem.Address) {
+		t.visitParallel(obj.Ref(a), w)
+	}, nil)
+}
+
+func (t *Tracer) visitParallel(ref obj.Ref, w *gcwork.Worker) {
+	if ref.IsNil() {
+		return
+	}
+	if t.Filter != nil && !t.Filter(ref) {
+		return
+	}
+	if !t.Marks.TrySet(ref) {
+		return
+	}
+	if t.OnMark != nil {
+		t.OnMark(ref)
+	}
+	t.OM.EachSlot(ref, func(_ int, slot mem.Address, v obj.Ref) {
+		if v.IsNil() {
+			return
+		}
+		if t.OnEdge != nil {
+			t.OnEdge(slot, v)
+		}
+		w.Push(v)
+	})
+}
+
+// Finish ends the trace epoch. The caller is responsible for clearing
+// mark bits after reclamation (LXR clears them only after the SATB epoch
+// finishes, §3.2.2).
+func (t *Tracer) Finish() {
+	t.active = false
+	t.stack = nil
+	t.inbox.Take()
+}

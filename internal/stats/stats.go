@@ -1,0 +1,123 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness uses: percentiles, means, geometric means and confidence
+// intervals, matching the methodology of §4 (metered latency percentiles,
+// geomeans over benchmarks, 95% confidence intervals).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0-100) of xs using
+// nearest-rank on a sorted copy. Returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted returns the p-th percentile of already-sorted xs.
+func PercentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Percentiles computes several percentiles with one sort.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = PercentileSorted(s, p)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; non-positive
+// values are skipped (missing data points, as in Table 6's geomean rows).
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean, using the normal approximation the paper's tables use.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return 1.96 * sd / math.Sqrt(float64(n))
+}
+
+// Histogram is a simple fixed-bucket log-scale histogram for pause and
+// latency distributions.
+type Histogram struct {
+	// Buckets[i] counts values in [2^i, 2^(i+1)) microseconds.
+	Buckets [40]int64
+	Count   int64
+	Max     float64
+}
+
+// AddMicros records a value in microseconds.
+func (h *Histogram) AddMicros(us float64) {
+	if us < 1 {
+		us = 1
+	}
+	b := int(math.Log2(us))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Buckets) {
+		b = len(h.Buckets) - 1
+	}
+	h.Buckets[b]++
+	h.Count++
+	if us > h.Max {
+		h.Max = us
+	}
+}

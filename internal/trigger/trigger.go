@@ -1,0 +1,156 @@
+// Package trigger implements LXR's collection-trigger heuristics
+// (§3.2.1, §3.2.2): a conservatively biased exponential-decay predictor,
+// the survival-rate RC trigger, and the SATB triggers (clean-block
+// shortfall and predicted heap wastage).
+package trigger
+
+import "sync"
+
+// DecayPredictor is the paper's 1:3 / 3:1 conservatively biased
+// exponential decay predictor. When an observation exceeds the current
+// prediction, the new prediction weights the observation 3/4 : 1/4
+// (reacting quickly in the conservative direction); otherwise the
+// weights reverse (forgetting slowly).
+type DecayPredictor struct {
+	mu     sync.Mutex
+	value  float64
+	primed bool
+	// BiasHigh selects the conservative direction: true biases toward
+	// high observations (survival rates), false toward low ones.
+	BiasHigh bool
+}
+
+// NewDecayPredictor creates a predictor with an initial value.
+func NewDecayPredictor(initial float64, biasHigh bool) *DecayPredictor {
+	return &DecayPredictor{value: initial, primed: true, BiasHigh: biasHigh}
+}
+
+// Observe folds a new observation into the prediction.
+func (p *DecayPredictor) Observe(x float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.primed {
+		p.value = x
+		p.primed = true
+		return
+	}
+	conservative := x > p.value
+	if !p.BiasHigh {
+		conservative = x < p.value
+	}
+	if conservative {
+		p.value = 0.75*x + 0.25*p.value
+	} else {
+		p.value = 0.25*x + 0.75*p.value
+	}
+}
+
+// Predict returns the current prediction.
+func (p *DecayPredictor) Predict() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.value
+}
+
+// RCTrigger decides when to take an RC pause (§3.2.1). LXR triggers a
+// pause when the heap is full (handled by allocation failure), when the
+// expected surviving volume of the newly allocated objects reaches the
+// survival threshold, or when the count of logged fields reaches the
+// increment threshold (disabled by default, as in the paper's default
+// configuration).
+type RCTrigger struct {
+	// SurvivalThresholdBytes bounds predicted survivor volume per epoch
+	// (the paper's default is 128 MB on multi-GB heaps; the harness
+	// scales it with heap size).
+	SurvivalThresholdBytes int64
+	// IncrementThreshold bounds logged fields per epoch; 0 disables.
+	IncrementThreshold int64
+	// Survival predicts the young survival rate in [0,1].
+	Survival *DecayPredictor
+}
+
+// NewRCTrigger creates an RC trigger with the given survival threshold.
+func NewRCTrigger(survivalThreshold int64) *RCTrigger {
+	return &RCTrigger{
+		SurvivalThresholdBytes: survivalThreshold,
+		Survival:               NewDecayPredictor(0.15, true),
+	}
+}
+
+// ShouldCollect reports whether an RC pause is due given the bytes
+// allocated and fields logged since the last epoch.
+func (t *RCTrigger) ShouldCollect(bytesAllocated, incrementsLogged int64) bool {
+	if t.IncrementThreshold > 0 && incrementsLogged >= t.IncrementThreshold {
+		return true
+	}
+	expected := float64(bytesAllocated) * t.Survival.Predict()
+	return expected >= float64(t.SurvivalThresholdBytes)
+}
+
+// ObserveSurvival records the epoch's measured young survival rate.
+func (t *RCTrigger) ObserveSurvival(allocated, survived int64) {
+	if allocated <= 0 {
+		return
+	}
+	r := float64(survived) / float64(allocated)
+	if r > 1 {
+		r = 1
+	}
+	t.Survival.Observe(r)
+}
+
+// SATBTrigger decides when an RC pause should also start a concurrent
+// SATB trace (§3.2.2). LXR starts a trace when an RC epoch yields fewer
+// clean blocks than a prescribed threshold, or when predicted wastage
+// (uncollected dead mature objects plus fragmentation) exceeds a
+// percentage of the heap.
+type SATBTrigger struct {
+	// CleanBlockThreshold is the minimum clean blocks an RC epoch must
+	// yield to avoid triggering a trace.
+	CleanBlockThreshold int
+	// WastageFraction is the predicted-wastage trigger (default 5%).
+	WastageFraction float64
+	// HeapBlocks is the heap budget in blocks.
+	HeapBlocks int
+	// LiveBlocks predicts the post-SATB live block count, driven by
+	// observations after each completed trace.
+	LiveBlocks *DecayPredictor
+}
+
+// NewSATBTrigger creates an SATB trigger.
+func NewSATBTrigger(heapBlocks int, cleanThreshold int, wastage float64) *SATBTrigger {
+	if wastage == 0 {
+		wastage = 0.05
+	}
+	return &SATBTrigger{
+		CleanBlockThreshold: cleanThreshold,
+		WastageFraction:     wastage,
+		HeapBlocks:          heapBlocks,
+		LiveBlocks:          NewDecayPredictor(0, false),
+	}
+}
+
+// ObserveLiveBlocks records the live block count measured after a
+// completed SATB trace.
+func (t *SATBTrigger) ObserveLiveBlocks(liveBlocks int) {
+	t.LiveBlocks.Observe(float64(liveBlocks))
+}
+
+// PredictedWastage estimates wasted blocks: current occupancy minus the
+// predicted post-trace live blocks.
+func (t *SATBTrigger) PredictedWastage(blocksInUse int) float64 {
+	w := float64(blocksInUse) - t.LiveBlocks.Predict()
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// ShouldStartTrace reports whether the current pause should seed an SATB
+// trace, given the clean blocks this epoch yielded and current occupancy.
+func (t *SATBTrigger) ShouldStartTrace(cleanBlocksYielded, blocksInUse int) bool {
+	if cleanBlocksYielded < t.CleanBlockThreshold {
+		return true
+	}
+	return t.PredictedWastage(blocksInUse) >= t.WastageFraction*float64(t.HeapBlocks)
+}

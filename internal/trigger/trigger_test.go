@@ -1,0 +1,81 @@
+package trigger_test
+
+import (
+	"testing"
+
+	"lxr/internal/trigger"
+)
+
+func TestDecayPredictorBiasHigh(t *testing.T) {
+	p := trigger.NewDecayPredictor(0.1, true)
+	p.Observe(0.5) // above prediction: react fast (3/4 weight)
+	if got := p.Predict(); got < 0.39 || got > 0.41 {
+		t.Fatalf("fast-direction update got %v", got)
+	}
+	p.Observe(0.0) // below: forget slowly (1/4 weight)
+	if got := p.Predict(); got < 0.29 || got > 0.31 {
+		t.Fatalf("slow-direction update got %v", got)
+	}
+}
+
+func TestDecayPredictorBiasLow(t *testing.T) {
+	p := trigger.NewDecayPredictor(1.0, false)
+	p.Observe(0.0) // below prediction is the conservative direction
+	if got := p.Predict(); got > 0.26 {
+		t.Fatalf("low-bias should react fast downward, got %v", got)
+	}
+}
+
+func TestRCTriggerSurvival(t *testing.T) {
+	tr := trigger.NewRCTrigger(1 << 20) // 1 MB survivor budget
+	tr.Survival.Observe(1.0)            // drive prediction high
+	if !tr.ShouldCollect(8<<20, 0) {
+		t.Fatal("8MB allocated at ~high survival must trigger")
+	}
+	if tr.ShouldCollect(1<<10, 0) {
+		t.Fatal("1KB allocated must not trigger")
+	}
+}
+
+func TestRCTriggerIncrementThreshold(t *testing.T) {
+	tr := trigger.NewRCTrigger(1 << 30)
+	tr.IncrementThreshold = 100
+	if !tr.ShouldCollect(0, 150) {
+		t.Fatal("increment threshold must trigger")
+	}
+	tr.IncrementThreshold = 0
+	if tr.ShouldCollect(0, 1<<40) {
+		t.Fatal("disabled increment threshold must not trigger")
+	}
+}
+
+func TestObserveSurvivalClamps(t *testing.T) {
+	tr := trigger.NewRCTrigger(1 << 20)
+	tr.ObserveSurvival(100, 500) // >100% clamps to 1
+	if tr.Survival.Predict() > 1 {
+		t.Fatal("survival rate must clamp at 1")
+	}
+	tr.ObserveSurvival(0, 0) // ignored
+}
+
+func TestSATBTriggerCleanBlocks(t *testing.T) {
+	tr := trigger.NewSATBTrigger(1000, 16, 0.05)
+	if !tr.ShouldStartTrace(2, 500) {
+		t.Fatal("clean-block shortfall must trigger")
+	}
+	if tr.ShouldStartTrace(100, 10) {
+		t.Fatal("plenty of clean blocks, low wastage: no trigger")
+	}
+}
+
+func TestSATBTriggerWastage(t *testing.T) {
+	tr := trigger.NewSATBTrigger(1000, 1, 0.05)
+	tr.ObserveLiveBlocks(100) // predicted live ~100 blocks
+	// Occupancy 400: predicted wastage 300 >= 5% of 1000.
+	if !tr.ShouldStartTrace(100, 400) {
+		t.Fatal("wastage must trigger")
+	}
+	if tr.PredictedWastage(5) != 0 {
+		t.Fatal("wastage must floor at zero")
+	}
+}

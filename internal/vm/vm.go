@@ -1,0 +1,399 @@
+// Package vm implements the simulated managed runtime that hosts the
+// collectors: mutator threads with shadow-stack roots, a safepoint and
+// stop-the-world rendezvous protocol, collection scheduling, and
+// pause/latency accounting.
+//
+// The paper implements LXR inside MMTk on OpenJDK; this package plays
+// the role of the JVM + MMTk glue. Every allocation, reference load and
+// reference store performed by application code goes through a Plan,
+// which is where collectors hang their barriers — the same mediation
+// MMTk performs via compiler-injected barrier code.
+package vm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lxr/internal/mem"
+	"lxr/internal/obj"
+)
+
+// The simulated runtime models a multicore machine (the paper evaluates
+// on 16-32 hardware threads). On boxes with very few CPUs Go would give
+// the concurrent collector thread no cycles between pauses, so the VM
+// raises GOMAXPROCS to a small floor; combined with the periodic
+// processor yield in Safepoint this lets concurrent collection overlap
+// with mutators the way it does on real hardware.
+func init() {
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+}
+
+// Plan is the collector interface — the equivalent of an MMTk plan.
+type Plan interface {
+	// Name identifies the collector ("LXR", "G1", ...).
+	Name() string
+	// Arena exposes the heap the plan constructed.
+	Arena() *mem.Arena
+	// Boot finishes initialisation once the VM exists.
+	Boot(v *VM)
+	// (CollectNow below is self-contained: safe from any non-mutator
+	// goroutine, or from a mutator inside Blocked.)
+	// BindMutator installs per-mutator state (thread-local allocators,
+	// barrier buffers) on m.PlanState.
+	BindMutator(m *Mutator)
+	// UnbindMutator flushes and releases per-mutator state.
+	UnbindMutator(m *Mutator)
+	// Alloc allocates an object, triggering collections as needed.
+	Alloc(m *Mutator, l obj.Layout) obj.Ref
+	// WriteRef performs a reference store src.slots[i] = val with the
+	// plan's write barrier.
+	WriteRef(m *Mutator, src obj.Ref, i int, val obj.Ref)
+	// ReadRef performs a reference load of src.slots[i] with the plan's
+	// read barrier (if any).
+	ReadRef(m *Mutator, src obj.Ref, i int) obj.Ref
+	// PollSafepoint runs plan work at mutator safepoints (trigger
+	// checks). It must be cheap.
+	PollSafepoint(m *Mutator)
+	// CollectNow performs a synchronous collection for the given cause.
+	// The caller must not hold the VM running-token (use
+	// VM.RequestCollection from mutator context).
+	CollectNow(cause string)
+	// Shutdown stops concurrent collector threads.
+	Shutdown()
+}
+
+// VM coordinates mutators and the collector.
+type VM struct {
+	Plan    Plan
+	OM      obj.Model
+	Stats   *Stats
+	Globals []obj.Ref // global root slots (application-managed)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	phase   atomic.Int32 // non-zero: STW requested/active
+	running int          // mutators currently holding the running token
+	nextID  int
+	muts    map[*Mutator]bool
+
+	gcLock  sync.Mutex // serialises collections
+	gcEpoch atomic.Uint64
+
+	shutdown atomic.Bool
+}
+
+// New creates a VM around a plan and boots it.
+func New(p Plan, globalRoots int) *VM {
+	v := &VM{
+		Plan:    p,
+		OM:      obj.Model{A: p.Arena()},
+		Stats:   NewStats(),
+		Globals: make([]obj.Ref, globalRoots),
+		muts:    make(map[*Mutator]bool),
+	}
+	v.cond = sync.NewCond(&v.mu)
+	p.Boot(v)
+	return v
+}
+
+// Shutdown stops the plan's concurrent threads. All mutators must have
+// been deregistered.
+func (v *VM) Shutdown() {
+	v.shutdown.Store(true)
+	v.Plan.Shutdown()
+}
+
+// GCEpoch returns the number of completed collections.
+func (v *VM) GCEpoch() uint64 { return v.gcEpoch.Load() }
+
+// --- running-token protocol --------------------------------------------------
+
+func (v *VM) acquireRunning() {
+	v.mu.Lock()
+	for v.phase.Load() != 0 {
+		v.cond.Wait()
+	}
+	v.running++
+	v.mu.Unlock()
+}
+
+func (v *VM) releaseRunning() {
+	v.mu.Lock()
+	v.running--
+	if v.running == 0 {
+		v.cond.Broadcast()
+	}
+	v.mu.Unlock()
+}
+
+// StopTheWorld brings all mutators to safepoints, runs f, and releases
+// them, recording the pause under the given kind. Only collection code
+// may call it, and only from within a RunCollection critical section (or
+// a context that guarantees no concurrent StopTheWorld).
+func (v *VM) StopTheWorld(kind string, f func()) time.Duration {
+	reqStart := time.Now()
+	v.mu.Lock()
+	v.phase.Store(1)
+	for v.running > 0 {
+		v.cond.Wait()
+	}
+	v.mu.Unlock()
+
+	start := time.Now()
+	f()
+	dur := time.Since(start)
+
+	v.mu.Lock()
+	v.phase.Store(0)
+	v.cond.Broadcast()
+	v.mu.Unlock()
+
+	v.Stats.RecordPause(kind, start, dur, start.Sub(reqStart))
+	return dur
+}
+
+// RunCollection serialises a collection request. When m is non-nil the
+// mutator's running token is released for the duration (so the STW
+// rendezvous does not wait on the requester). f typically calls
+// Plan.CollectNow logic which uses StopTheWorld internally.
+func (v *VM) RunCollection(m *Mutator, f func()) {
+	if m != nil {
+		v.releaseRunning()
+		defer v.acquireRunning()
+	}
+	v.gcLock.Lock()
+	defer v.gcLock.Unlock()
+	f()
+	v.gcEpoch.Add(1)
+}
+
+// Collect performs a synchronous collection from a non-mutator
+// goroutine (e.g. the harness between workload phases). CollectNow
+// implementations are self-contained: they serialise against other
+// collections themselves.
+func (v *VM) Collect() { v.Plan.CollectNow("explicit") }
+
+// CollectIfEpoch runs f (a collection) only if no collection completed
+// since the caller observed epoch e. It returns true if f ran. Failing
+// allocators use it so a burst of concurrent failures produces a single
+// collection.
+func (v *VM) CollectIfEpoch(m *Mutator, e uint64, f func()) bool {
+	ran := false
+	v.RunCollection(m, func() {
+		if v.gcEpoch.Load() == e {
+			f()
+			ran = true
+		}
+	})
+	return ran
+}
+
+// --- mutators ----------------------------------------------------------------
+
+// Mutator is an application thread. All of its heap accesses go through
+// the VM's plan. Roots is the thread's shadow stack: any object
+// reachable from it is live.
+type Mutator struct {
+	ID int
+	VM *VM
+
+	// Roots is the shadow stack. The mutator may read and write it
+	// freely; collectors scan it only while the world is stopped.
+	Roots []obj.Ref
+
+	// PlanState holds the plan's per-mutator state.
+	PlanState any
+
+	// busy-time accounting for the LBO cycles metric
+	registered time.Time
+	parkedNs   atomic.Int64
+
+	rngState uint64
+	polls    uint32
+}
+
+// RegisterMutator creates and registers a mutator thread context with a
+// shadow stack of rootSlots slots. The calling goroutine holds the
+// running token until Deregister, Safepoint-park, or a Blocked section.
+func (v *VM) RegisterMutator(rootSlots int) *Mutator {
+	v.acquireRunning()
+	v.mu.Lock()
+	v.nextID++
+	m := &Mutator{
+		ID:         v.nextID,
+		VM:         v,
+		Roots:      make([]obj.Ref, rootSlots),
+		registered: time.Now(),
+		rngState:   uint64(v.nextID)*0x9e3779b97f4a7c15 + 1,
+	}
+	v.muts[m] = true
+	v.mu.Unlock()
+	v.Plan.BindMutator(m)
+	return m
+}
+
+// Deregister removes the mutator; its roots are no longer scanned.
+func (m *Mutator) Deregister() {
+	m.VM.Plan.UnbindMutator(m)
+	m.VM.mu.Lock()
+	delete(m.VM.muts, m)
+	m.VM.mu.Unlock()
+	m.VM.Stats.AddMutatorBusy(time.Since(m.registered) - time.Duration(m.parkedNs.Load()))
+	m.VM.releaseRunning()
+}
+
+// Safepoint is the GC poll. Mutators must call it frequently (Alloc
+// calls it implicitly). If a stop-the-world is pending the mutator
+// parks here until the collection finishes.
+func (m *Mutator) Safepoint() {
+	m.VM.Plan.PollSafepoint(m)
+	if m.VM.phase.Load() != 0 {
+		t0 := time.Now()
+		m.VM.releaseRunning()
+		m.VM.acquireRunning()
+		m.parkedNs.Add(int64(time.Since(t0)))
+		return
+	}
+	// Periodically yield the processor so concurrent collector threads
+	// make progress even when the host has fewer CPUs than the machine
+	// being modeled.
+	m.polls++
+	if m.polls&0x3ff == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Blocked executes f with the mutator's running token released, so that
+// stop-the-world can proceed while the mutator waits on channels, locks
+// or I/O. f must not touch the heap.
+func (m *Mutator) Blocked(f func()) {
+	t0 := time.Now()
+	m.VM.releaseRunning()
+	f()
+	m.VM.acquireRunning()
+	m.parkedNs.Add(int64(time.Since(t0)))
+}
+
+// Alloc allocates an object with the given number of reference slots and
+// payload bytes, returning its reference.
+func (m *Mutator) Alloc(typeID uint8, numRefs, payloadBytes int) obj.Ref {
+	l := obj.Layout{
+		NumRefs: numRefs,
+		Size:    obj.SizeFor(numRefs, payloadBytes),
+		TypeID:  typeID,
+	}
+	l.Large = l.Size > obj.LargeThreshold
+	return m.VM.Plan.Alloc(m, l)
+}
+
+// Store writes reference slot i of obj src through the write barrier.
+func (m *Mutator) Store(src obj.Ref, i int, val obj.Ref) {
+	m.VM.Plan.WriteRef(m, src, i, val)
+}
+
+// Load reads reference slot i of obj src through the read barrier.
+func (m *Mutator) Load(src obj.Ref, i int) obj.Ref {
+	return m.VM.Plan.ReadRef(m, src, i)
+}
+
+// WritePayload stores a non-reference word into the object's payload.
+// Payload accesses resolve forwarding (concurrent evacuating collectors
+// may have moved the object) but need no other barrier.
+func (m *Mutator) WritePayload(src obj.Ref, word int, v uint64) {
+	src = m.VM.OM.Resolve(src)
+	m.VM.OM.A.Store(m.VM.OM.PayloadAddr(src)+mem.Address(word)*mem.WordSize, v)
+}
+
+// ReadPayload loads a non-reference word from the object's payload.
+func (m *Mutator) ReadPayload(src obj.Ref, word int) uint64 {
+	src = m.VM.OM.Resolve(src)
+	return m.VM.OM.A.Load(m.VM.OM.PayloadAddr(src) + mem.Address(word)*mem.WordSize)
+}
+
+// PayloadWords returns the payload size in words.
+func (m *Mutator) PayloadWords(src obj.Ref) int {
+	return m.VM.OM.PayloadBytes(m.VM.OM.Resolve(src)) / mem.WordSize
+}
+
+// NumRefs returns the reference-slot count of an object.
+func (m *Mutator) NumRefs(src obj.Ref) int {
+	return m.VM.OM.NumRefs(m.VM.OM.Resolve(src))
+}
+
+// RequestGC performs a synchronous collection from mutator context.
+// The mutator's running token is released for the duration so the
+// stop-the-world rendezvous does not wait on the requester.
+func (m *Mutator) RequestGC() {
+	m.Blocked(func() { m.VM.Plan.CollectNow("explicit") })
+}
+
+// Rand returns a fast thread-local pseudo-random uint64 (xorshift*).
+// Workloads use it so that no locking or allocation sneaks into the
+// mutator hot path.
+func (m *Mutator) Rand() uint64 {
+	x := m.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// --- root scanning -----------------------------------------------------------
+
+// SnapshotRoots appends every root (all mutator shadow stacks plus the
+// global root slots) to dst. It must only be called while the world is
+// stopped.
+func (v *VM) SnapshotRoots(dst []obj.Ref) []obj.Ref {
+	for m := range v.muts {
+		for _, r := range m.Roots {
+			if !r.IsNil() {
+				dst = append(dst, r)
+			}
+		}
+	}
+	for _, r := range v.Globals {
+		if !r.IsNil() {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// EachMutator invokes f for every registered mutator. Must only be
+// called while the world is stopped (or before mutators start).
+func (v *VM) EachMutator(f func(m *Mutator)) {
+	for m := range v.muts {
+		f(m)
+	}
+}
+
+// FixRoots rewrites every root slot through f (used by copying
+// collectors to redirect references to evacuated objects). World must be
+// stopped.
+func (v *VM) FixRoots(f func(obj.Ref) obj.Ref) {
+	for m := range v.muts {
+		for i, r := range m.Roots {
+			if !r.IsNil() {
+				m.Roots[i] = f(r)
+			}
+		}
+	}
+	for i, r := range v.Globals {
+		if !r.IsNil() {
+			v.Globals[i] = f(r)
+		}
+	}
+}
+
+// MutatorCount returns the number of registered mutators. Approximate if
+// called while the world is running.
+func (v *VM) MutatorCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.muts)
+}

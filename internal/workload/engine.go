@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+// Root-slot layout used by workload mutators.
+const (
+	rootSpine     = 0 // mature-table spine
+	rootTransient = 1 // most recently allocated (dies on overwrite)
+	rootScratch   = 2
+	rootList      = 3 // list head (ListHeavy)
+	rootLarge     = 4
+	numRoots      = 8
+)
+
+// tableSlots is the fan-out of one mature-table chunk. A chunk is a
+// medium object (just under half a block, so it avoids the large object
+// space) holding long-lived references; overwriting a slot kills the
+// previous referent.
+const tableSlots = 2040
+
+// matureFraction is the share of the minimum heap occupied by the
+// long-lived object table, approximating each benchmark's mature heap.
+const matureFraction = 0.45
+
+// BatchResult reports a batch run.
+type BatchResult struct {
+	Wall      time.Duration
+	Allocated int64
+	// Failed is set when the collector could not keep the workload
+	// running (out of memory) — reported as a missing data point, the
+	// way the paper's tables show collectors that cannot run a
+	// configuration.
+	Failed bool
+}
+
+// runGuard converts a collector OOM panic into a recorded failure.
+func runGuard(failed *atomic.Bool) {
+	if r := recover(); r != nil {
+		if s, ok := r.(string); ok && strings.Contains(s, "out of memory") {
+			failed.Store(true)
+			return
+		}
+		panic(r)
+	}
+}
+
+// mutCtx is one workload mutator's state.
+type mutCtx struct {
+	m       *vm.Mutator
+	sz      Sized
+	spineN  int // table chunks
+	slotsN  int // slots per chunk in use
+	counter int
+	allocd  int64
+}
+
+// setupMature builds the mutator's mature table: a spine large object
+// whose slots reference table chunks.
+func setupMature(m *vm.Mutator, sz Sized, share float64) *mutCtx {
+	c := &mutCtx{m: m, sz: sz}
+	matureBytes := int(matureFraction * float64(sz.MinHeapBytes) * share)
+	objSize := sz.ObjSize
+	if objSize < 24 {
+		objSize = 24
+	}
+	// The table retains one object per slot, so slot count is sized by
+	// the benchmark's mean object size to hit the mature-heap target.
+	slots := matureBytes / objSize
+	chunks := (slots + tableSlots - 1) / tableSlots
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > 250 {
+		chunks = 250
+	}
+	c.spineN = chunks
+	c.slotsN = tableSlots
+	if slots < tableSlots {
+		c.slotsN = slots
+		if c.slotsN < 16 {
+			c.slotsN = 16
+		}
+	}
+	spine := m.Alloc(1, chunks, 0)
+	m.Roots[rootSpine] = spine
+	for i := 0; i < chunks; i++ {
+		chunk := m.Alloc(2, tableSlots, 0)
+		m.Store(m.Roots[rootSpine], i, chunk)
+	}
+	return c
+}
+
+// surviveStore places ref into a random mature-table slot, killing the
+// previous occupant. The survivor's chain link is cut so it does not
+// drag its transient allocation segment into the mature set (which
+// would inflate the survival rate far beyond the spec's).
+func (c *mutCtx) surviveStore(ref obj.Ref) {
+	m := c.m
+	if m.NumRefs(ref) > 0 {
+		m.Store(ref, 0, 0)
+	}
+	r := m.Rand()
+	chunk := m.Load(m.Roots[rootSpine], int(r>>33)%c.spineN)
+	m.Store(chunk, int(r&0x7fffffff)%c.slotsN, ref)
+}
+
+// randomMature fetches a random long-lived object (may be nil early on).
+func (c *mutCtx) randomMature() obj.Ref {
+	m := c.m
+	r := m.Rand()
+	chunk := m.Load(m.Roots[rootSpine], int(r>>33)%c.spineN)
+	return m.Load(chunk, int(r&0x7fffffff)%c.slotsN)
+}
+
+// allocOne allocates one object per the spec's demographics, performs
+// its survival decision, pointer mutations and payload work, and
+// returns the bytes allocated.
+func (c *mutCtx) allocOne() int {
+	m := c.m
+	sz := &c.sz
+	r := m.Rand()
+
+	// Large object? LargePct is a byte fraction; large objects are
+	// ~24 KB vs ObjSize for the rest, so the count fraction is scaled.
+	if sz.LargePct > 0 {
+		largeEvery := (24 << 10) * 100 / (sz.ObjSize * sz.LargePct)
+		if largeEvery < 1 {
+			largeEvery = 1
+		}
+		if c.counter%largeEvery == largeEvery-1 {
+			size := 18<<10 + int(r%(16<<10))
+			lo := m.Alloc(3, 2, size)
+			m.WritePayload(lo, 0, r)
+			if int(r>>40)%100 < sz.SurvivalPct {
+				c.surviveStore(lo)
+			} else {
+				m.Roots[rootLarge] = lo
+			}
+			c.counter++
+			return size + 32
+		}
+	}
+
+	// Regular object: size jittered around the benchmark mean.
+	mean := sz.ObjSize
+	if mean < 24 {
+		mean = 24
+	}
+	payload := mean/2 + int(r%uint64(mean)) - 16
+	if payload < 8 {
+		payload = 8
+	}
+	o := m.Alloc(1, 2, payload)
+	m.WritePayload(o, 0, r) // touch the object (real memory traffic)
+
+	// Link to the previous transient in short segments (so young
+	// evacuation and tracing have pointers to chase) — the chain is cut
+	// every 8 objects, otherwise the whole allocation history would
+	// remain reachable from the newest object.
+	if prev := m.Roots[rootTransient]; !prev.IsNil() && c.counter%8 != 0 {
+		m.Store(o, 0, prev)
+	}
+	m.Roots[rootTransient] = o
+
+	// Survival decision.
+	if int(r>>40)%100 < sz.SurvivalPct {
+		c.surviveStore(o)
+	}
+
+	// Heap pointer mutations: overwrite mature objects' fields,
+	// exercising the write barrier, coalescing RC and remembered sets.
+	if c.counter%64 < sz.PtrRate {
+		if t := c.randomMature(); !t.IsNil() && m.NumRefs(t) > 1 {
+			m.Store(t, 1, c.randomMature())
+		}
+	}
+	c.counter++
+	return mean + 24
+}
+
+// maintainList keeps a long singly-linked live list (avrora's pathology:
+// a deep structure that defeats tracing parallelism) and periodically
+// walks a section of it.
+func (c *mutCtx) maintainList(targetLen int) {
+	m := c.m
+	if m.Roots[rootList].IsNil() {
+		var head obj.Ref
+		for i := 0; i < targetLen; i++ {
+			n := m.Alloc(4, 1, 24)
+			if !head.IsNil() {
+				m.Store(n, 0, head)
+			}
+			head = n
+			m.Roots[rootList] = head
+		}
+		return
+	}
+	// Walk a prefix (mutator work over the deep structure).
+	cur := m.Roots[rootList]
+	for i := 0; i < 128 && !cur.IsNil(); i++ {
+		cur = m.Load(cur, 0)
+	}
+}
+
+// RunBatch executes a batch benchmark: spec.Mutators threads allocate
+// the scaled allocation volume with the spec's demographics. Returns
+// wall time (the paper's throughput metric).
+func RunBatch(v *vm.VM, sz Sized) BatchResult {
+	start := time.Now()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	nm := sz.Mutators
+	if nm < 1 {
+		nm = 1
+	}
+	per := sz.AllocBytes / int64(nm)
+	var failed atomic.Bool
+	for w := 0; w < nm; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := v.RegisterMutator(numRoots)
+			defer m.Deregister()
+			defer runGuard(&failed)
+			c := setupMature(m, sz, 1/float64(nm))
+			listLen := 0
+			if sz.ListHeavy && id == 0 {
+				listLen = sz.MinHeapBytes / 4 / 64
+				c.maintainList(listLen)
+			}
+			var done int64
+			for done < per && !failed.Load() {
+				done += int64(c.allocOne())
+				if sz.ListHeavy && id == 0 && c.counter%512 == 0 {
+					c.maintainList(listLen)
+				}
+			}
+			total.Add(done)
+		}(w)
+	}
+	wg.Wait()
+	return BatchResult{Wall: time.Since(start), Allocated: total.Load(), Failed: failed.Load()}
+}

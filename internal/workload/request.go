@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lxr/internal/vm"
+)
+
+// RequestResult reports a metered request run (DaCapo Chopin
+// methodology, §4): per-request latencies include computation,
+// interruptions (GC), and queueing behind an open-loop arrival process.
+type RequestResult struct {
+	Wall      time.Duration
+	QPS       float64
+	Latencies []float64 // milliseconds, one per request
+	Failed    bool      // collector could not sustain the workload (OOM)
+}
+
+// processRequest performs one request: allocate the request's working
+// set with the spec demographics and touch payload (the computation).
+func processRequest(c *mutCtx, prof *RequestProfile) {
+	m := c.m
+	var sum uint64
+	for i := 0; i < prof.ObjsPerReq; i++ {
+		c.allocOne()
+	}
+	// Compute over the most recent objects (cache traffic).
+	cur := m.Roots[rootTransient]
+	for i := 0; i < prof.WorkPerReq && !cur.IsNil(); i++ {
+		sum += m.ReadPayload(cur, 0)
+		if i%8 == 7 {
+			cur = m.Load(cur, 0)
+		}
+	}
+	m.WritePayload(m.Roots[rootTransient], 0, sum)
+}
+
+// MeasureCapacity runs a closed-loop probe (no arrival metering) and
+// returns requests/second. The harness calibrates the open-loop arrival
+// rate from a capacity probe on a reference collector so that every
+// collector faces the identical load (the paper drives all collectors
+// with the same request stream).
+func MeasureCapacity(v *vm.VM, sz Sized, probeRequests int) float64 {
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < sz.Mutators; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := v.RegisterMutator(numRoots)
+			defer m.Deregister()
+			defer runGuard(&failed)
+			c := setupMature(m, sz, 1/float64(sz.Mutators))
+			for !failed.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(probeRequests) {
+					return
+				}
+				processRequest(c, sz.Request.Request())
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(probeRequests) / time.Since(start).Seconds()
+}
+
+// Request returns the profile (helper for nil-safety symmetry).
+func (p *RequestProfile) Request() *RequestProfile { return p }
+
+// RunRequests executes the metered open-loop workload: requests arrive
+// at ratePerSec into an unbounded queue; sz.Mutators workers serve them.
+// Request i's latency is measured from its scheduled arrival to its
+// completion, so GC interruptions delay both the active request and
+// everything queued behind it — the paper's central measurement.
+func RunRequests(v *vm.VM, sz Sized, ratePerSec float64) RequestResult {
+	n := sz.Requests
+	lat := make([]float64, n)
+	interval := time.Duration(float64(time.Second) / ratePerSec)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	start := time.Now().Add(10 * time.Millisecond) // arrival epoch
+	for w := 0; w < sz.Mutators; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := v.RegisterMutator(numRoots)
+			defer m.Deregister()
+			defer runGuard(&failed)
+			c := setupMature(m, sz, 1/float64(sz.Mutators))
+			for !failed.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				arrival := start.Add(time.Duration(i) * interval)
+				if wait := time.Until(arrival); wait > 0 {
+					m.Blocked(func() { time.Sleep(wait) })
+				}
+				processRequest(c, sz.Request)
+				lat[i] = float64(time.Since(arrival)) / float64(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return RequestResult{
+		Wall:      wall,
+		QPS:       float64(n) / wall.Seconds(),
+		Latencies: lat,
+		Failed:    failed.Load(),
+	}
+}

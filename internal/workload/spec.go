@@ -1,0 +1,159 @@
+// Package workload implements the synthetic DaCapo Chopin suite: 17
+// benchmark specifications parameterised by the demographics of Table 3
+// (minimum heap, allocation volume, allocation rate, object size,
+// large-object fraction, nursery survival), four of which are
+// request-driven latency workloads measured with the DaCapo metered
+// methodology (arrival queueing included, §4).
+//
+// The collector-relevant signal of each benchmark — allocation pressure
+// relative to heap size, object size/lifetime distributions, pointer
+// mutation rates, long-lived structure shape — is reproduced; the
+// computation each benchmark performs is replaced by synthetic work on
+// the simulated heap.
+package workload
+
+// Spec describes one benchmark in the paper's units; the harness scales
+// it to simulator size with a Scale.
+type Spec struct {
+	Name string
+
+	// Table 3 demographics (paper units).
+	MinHeapMB    int     // minimum G1 heap
+	AllocGB      float64 // total bytes allocated
+	AllocHeap    int     // ratio of allocation to minimum heap
+	AllocRateMBs int     // allocation rate, MB/s
+	ObjSize      int     // mean object size, bytes
+	LargePct     int     // % of allocated bytes in objects > 16 KB
+	SurvivalPct  int     // % of bytes surviving a 32 MB nursery
+
+	// Structure.
+	Mutators  int  // worker threads
+	ListHeavy bool // keeps a long live singly-linked list (avrora)
+	PtrRate   int  // heap pointer stores per 64 objects allocated
+
+	// Latency-sensitive request workloads (nil for batch benchmarks).
+	Request *RequestProfile
+}
+
+// RequestProfile parameterises a metered request workload.
+type RequestProfile struct {
+	Requests   int // total requests at scale 1
+	ObjsPerReq int // objects allocated per request
+	WorkPerReq int // payload words touched per request (compute)
+}
+
+// Suite returns the 17 benchmarks of the DaCapo Chopin development
+// suite as characterised in Table 3.
+func Suite() []Spec {
+	return []Spec{
+		{Name: "cassandra", MinHeapMB: 263, AllocGB: 5.6, AllocHeap: 22, AllocRateMBs: 596, ObjSize: 50, LargePct: 0, SurvivalPct: 4, Mutators: 4, PtrRate: 10,
+			Request: &RequestProfile{Requests: 12000, ObjsPerReq: 220, WorkPerReq: 1600}},
+		{Name: "h2", MinHeapMB: 1191, AllocGB: 13.0, AllocHeap: 11, AllocRateMBs: 1534, ObjSize: 64, LargePct: 0, SurvivalPct: 17, Mutators: 4, PtrRate: 16,
+			Request: &RequestProfile{Requests: 9000, ObjsPerReq: 420, WorkPerReq: 2400}},
+		{Name: "lusearch", MinHeapMB: 53, AllocGB: 31.2, AllocHeap: 603, AllocRateMBs: 9520, ObjSize: 97, LargePct: 1, SurvivalPct: 1, Mutators: 8, PtrRate: 4,
+			Request: &RequestProfile{Requests: 40000, ObjsPerReq: 260, WorkPerReq: 300}},
+		{Name: "tomcat", MinHeapMB: 71, AllocGB: 6.9, AllocHeap: 100, AllocRateMBs: 1440, ObjSize: 95, LargePct: 21, SurvivalPct: 1, Mutators: 6, PtrRate: 8,
+			Request: &RequestProfile{Requests: 16000, ObjsPerReq: 180, WorkPerReq: 900}},
+		{Name: "avrora", MinHeapMB: 7, AllocGB: 0.2, AllocHeap: 28, AllocRateMBs: 46, ObjSize: 45, LargePct: 0, SurvivalPct: 5, Mutators: 2, ListHeavy: true, PtrRate: 20},
+		{Name: "batik", MinHeapMB: 1076, AllocGB: 0.5, AllocHeap: 0, AllocRateMBs: 257, ObjSize: 71, LargePct: 10, SurvivalPct: 51, Mutators: 2, PtrRate: 8},
+		{Name: "biojava", MinHeapMB: 191, AllocGB: 11.8, AllocHeap: 63, AllocRateMBs: 800, ObjSize: 37, LargePct: 3, SurvivalPct: 2, Mutators: 2, PtrRate: 4},
+		{Name: "eclipse", MinHeapMB: 534, AllocGB: 8.3, AllocHeap: 16, AllocRateMBs: 595, ObjSize: 100, LargePct: 29, SurvivalPct: 17, Mutators: 4, PtrRate: 12},
+		{Name: "fop", MinHeapMB: 73, AllocGB: 0.5, AllocHeap: 7, AllocRateMBs: 557, ObjSize: 58, LargePct: 3, SurvivalPct: 10, Mutators: 1, PtrRate: 12},
+		{Name: "graphchi", MinHeapMB: 255, AllocGB: 11.9, AllocHeap: 48, AllocRateMBs: 1117, ObjSize: 134, LargePct: 3, SurvivalPct: 4, Mutators: 4, PtrRate: 6},
+		{Name: "h2o", MinHeapMB: 3689, AllocGB: 11.8, AllocHeap: 3, AllocRateMBs: 3065, ObjSize: 168, LargePct: 23, SurvivalPct: 14, Mutators: 4, PtrRate: 2},
+		{Name: "jython", MinHeapMB: 325, AllocGB: 5.2, AllocHeap: 16, AllocRateMBs: 1038, ObjSize: 60, LargePct: 4, SurvivalPct: 0, Mutators: 2, PtrRate: 10},
+		{Name: "luindex", MinHeapMB: 41, AllocGB: 2.2, AllocHeap: 54, AllocRateMBs: 335, ObjSize: 288, LargePct: 75, SurvivalPct: 3, Mutators: 2, PtrRate: 4},
+		{Name: "pmd", MinHeapMB: 637, AllocGB: 7.0, AllocHeap: 11, AllocRateMBs: 3952, ObjSize: 46, LargePct: 2, SurvivalPct: 14, Mutators: 4, PtrRate: 24},
+		{Name: "sunflow", MinHeapMB: 87, AllocGB: 20.5, AllocHeap: 241, AllocRateMBs: 6267, ObjSize: 45, LargePct: 0, SurvivalPct: 3, Mutators: 8, PtrRate: 4},
+		{Name: "xalan", MinHeapMB: 43, AllocGB: 3.9, AllocHeap: 92, AllocRateMBs: 4265, ObjSize: 122, LargePct: 41, SurvivalPct: 17, Mutators: 6, PtrRate: 20},
+		{Name: "zxing", MinHeapMB: 153, AllocGB: 1.5, AllocHeap: 10, AllocRateMBs: 1750, ObjSize: 183, LargePct: 50, SurvivalPct: 23, Mutators: 4, PtrRate: 6},
+	}
+}
+
+// ByName returns the named spec.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// LatencySuite returns the four request-based latency-sensitive
+// workloads (§5.1).
+func LatencySuite() []Spec {
+	out := []Spec{}
+	for _, s := range Suite() {
+		if s.Request != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Scale maps paper-sized workloads onto the simulator. The defaults
+// keep each run in the hundreds of milliseconds while preserving the
+// ratios that drive collector behaviour.
+type Scale struct {
+	// HeapDiv divides the paper's minimum heap (default 24).
+	HeapDiv int
+	// MinHeapMB floors the scaled minimum heap (default 6).
+	MinHeapMB int
+	// MaxHeapMB caps the scaled minimum heap (default 160).
+	MaxHeapMB int
+	// AllocHeapCap caps the allocation:heap ratio (default 24) so the
+	// most allocation-intensive benchmarks finish; relative ordering is
+	// preserved by the cap being rarely hit.
+	AllocHeapCap int
+	// RequestDiv divides request counts (default 8).
+	RequestDiv int
+}
+
+// DefaultScale returns the standard scaling.
+func DefaultScale() Scale {
+	return Scale{HeapDiv: 24, MinHeapMB: 6, MaxHeapMB: 160, AllocHeapCap: 24, RequestDiv: 8}
+}
+
+// QuickScale returns a faster scaling for tests and smoke runs.
+func QuickScale() Scale {
+	return Scale{HeapDiv: 48, MinHeapMB: 5, MaxHeapMB: 64, AllocHeapCap: 8, RequestDiv: 40}
+}
+
+// Sized holds the simulator-sized parameters of a spec.
+type Sized struct {
+	Spec
+	MinHeapBytes int   // scaled minimum heap
+	AllocBytes   int64 // scaled total allocation (batch)
+	Requests     int   // scaled request count
+}
+
+// Size applies the scale to a spec.
+func (sc Scale) Size(s Spec) Sized {
+	heapMB := s.MinHeapMB / sc.HeapDiv
+	if heapMB < sc.MinHeapMB {
+		heapMB = sc.MinHeapMB
+	}
+	if heapMB > sc.MaxHeapMB {
+		heapMB = sc.MaxHeapMB
+	}
+	ratio := s.AllocHeap
+	if ratio < 2 {
+		ratio = 2
+	}
+	if ratio > sc.AllocHeapCap {
+		ratio = sc.AllocHeapCap
+	}
+	sized := Sized{
+		Spec:         s,
+		MinHeapBytes: heapMB << 20,
+		AllocBytes:   int64(ratio) * int64(heapMB) << 20,
+	}
+	if s.Request != nil {
+		sized.Requests = s.Request.Requests / sc.RequestDiv
+		if sized.Requests < 200 {
+			sized.Requests = 200
+		}
+	}
+	return sized
+}

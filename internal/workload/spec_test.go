@@ -1,0 +1,70 @@
+package workload_test
+
+import (
+	"testing"
+
+	"lxr/internal/workload"
+)
+
+func TestSuiteHas17Benchmarks(t *testing.T) {
+	if got := len(workload.Suite()); got != 17 {
+		t.Fatalf("suite has %d benchmarks", got)
+	}
+}
+
+func TestLatencySuite(t *testing.T) {
+	ls := workload.LatencySuite()
+	if len(ls) != 4 {
+		t.Fatalf("latency suite has %d", len(ls))
+	}
+	want := map[string]bool{"cassandra": true, "h2": true, "lusearch": true, "tomcat": true}
+	for _, s := range ls {
+		if !want[s.Name] {
+			t.Fatalf("unexpected latency benchmark %s", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := workload.ByName("lusearch"); !ok {
+		t.Fatal("lusearch missing")
+	}
+	if _, ok := workload.ByName("nope"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestScaleBounds(t *testing.T) {
+	sc := workload.DefaultScale()
+	for _, s := range workload.Suite() {
+		sz := sc.Size(s)
+		if sz.MinHeapBytes < sc.MinHeapMB<<20 || sz.MinHeapBytes > sc.MaxHeapMB<<20 {
+			t.Fatalf("%s heap %d out of bounds", s.Name, sz.MinHeapBytes)
+		}
+		if sz.AllocBytes < 2*int64(sz.MinHeapBytes) {
+			t.Fatalf("%s alloc volume too small", s.Name)
+		}
+		if s.Request != nil && sz.Requests < 200 {
+			t.Fatalf("%s requests %d", s.Name, sz.Requests)
+		}
+	}
+}
+
+func TestScalePreservesAllocOrdering(t *testing.T) {
+	// lusearch has the most extreme alloc:heap ratio; it must remain the
+	// highest after capping.
+	sc := workload.DefaultScale()
+	lu := sc.Size(mustSpec(t, "lusearch"))
+	fop := sc.Size(mustSpec(t, "fop"))
+	if lu.AllocBytes/int64(lu.MinHeapBytes) < fop.AllocBytes/int64(fop.MinHeapBytes) {
+		t.Fatal("scaling inverted allocation intensity ordering")
+	}
+}
+
+func mustSpec(t *testing.T, name string) workload.Spec {
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+// Package lxr is the public API of the LXR reproduction: a managed-heap
+// runtime simulator hosting the LXR garbage collector (Zhao, Blackburn &
+// McKinley, "Low-Latency, High-Throughput Garbage Collection", PLDI
+// 2022) together with the baseline collectors the paper evaluates
+// against (G1, Shenandoah, ZGC, Serial, Parallel, SemiSpace, Immix).
+//
+// # Quick start
+//
+//	rt := lxr.NewRuntime(lxr.RuntimeConfig{HeapBytes: 64 << 20})
+//	defer rt.Shutdown()
+//	m := rt.RegisterMutator(8)          // 8 root slots
+//	obj := m.Alloc(0, 2, 16)            // typeID 0, 2 ref slots, 16 payload bytes
+//	m.Roots[0] = obj                    // keep it alive
+//	m.Store(obj, 0, m.Alloc(0, 0, 8))   // barrier-instrumented pointer store
+//	child := m.Load(obj, 0)             // barrier-instrumented pointer load
+//	_ = child
+//	m.Deregister()
+//
+// Mutator discipline: any reference held across a Safepoint (every Alloc
+// is one) must live in the mutator's Roots slice, exactly as JIT-compiled
+// code keeps references visible to stack scanning.
+//
+// See DESIGN.md for architecture and EXPERIMENTS.md for the paper's
+// tables and figures and how to regenerate them (cmd/lxr-bench).
+package lxr
+
+import (
+	"lxr/internal/baselines"
+	"lxr/internal/core"
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+// Ref is a reference to a heap object.
+type Ref = obj.Ref
+
+// Mutator is an application thread attached to the runtime. See
+// vm.Mutator for the full API (Alloc, Load, Store, payload access,
+// Safepoint, Blocked, RequestGC).
+type Mutator = vm.Mutator
+
+// Stats exposes pause records, counters and busy-time accounting.
+type Stats = vm.Stats
+
+// Pause is one stop-the-world pause record.
+type Pause = vm.Pause
+
+// CollectorKind selects the garbage collector for a Runtime.
+type CollectorKind string
+
+// Available collectors.
+const (
+	CollectorLXR        CollectorKind = "LXR"
+	CollectorG1         CollectorKind = "G1"
+	CollectorShenandoah CollectorKind = "Shenandoah"
+	CollectorZGC        CollectorKind = "ZGC"
+	CollectorSerial     CollectorKind = "Serial"
+	CollectorParallel   CollectorKind = "Parallel"
+	CollectorSemiSpace  CollectorKind = "SemiSpace"
+	CollectorImmix      CollectorKind = "Immix"
+)
+
+// RuntimeConfig configures a Runtime.
+type RuntimeConfig struct {
+	// Collector selects the GC algorithm (default LXR).
+	Collector CollectorKind
+	// HeapBytes is the heap budget (default 64 MB).
+	HeapBytes int
+	// GCThreads sizes the parallel collection pool (default 4).
+	GCThreads int
+	// GlobalRoots sizes the global root array (default 16).
+	GlobalRoots int
+	// LXR, when Collector is LXR, overrides the full LXR configuration
+	// (ablations, triggers, evacuation knobs). HeapBytes/GCThreads
+	// above still apply when the corresponding fields are zero.
+	LXR *core.Config
+}
+
+// Runtime is a simulated managed runtime with a garbage-collected heap.
+type Runtime struct {
+	*vm.VM
+}
+
+// NewRuntime creates a runtime with the configured collector.
+// It panics if the collector cannot run at the given heap size
+// (use NewRuntimeChecked to detect that case).
+func NewRuntime(cfg RuntimeConfig) *Runtime {
+	rt, err := NewRuntimeChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// NewRuntimeChecked is NewRuntime returning an error when the collector
+// cannot operate at the requested heap size (ZGC's minimum heap).
+func NewRuntimeChecked(cfg RuntimeConfig) (*Runtime, error) {
+	if cfg.Collector == "" {
+		cfg.Collector = CollectorLXR
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 64 << 20
+	}
+	if cfg.GCThreads == 0 {
+		cfg.GCThreads = 4
+	}
+	if cfg.GlobalRoots == 0 {
+		cfg.GlobalRoots = 16
+	}
+	var plan vm.Plan
+	switch cfg.Collector {
+	case CollectorLXR:
+		c := core.Config{}
+		if cfg.LXR != nil {
+			c = *cfg.LXR
+		}
+		if c.HeapBytes == 0 {
+			c.HeapBytes = cfg.HeapBytes
+		}
+		if c.GCThreads == 0 {
+			c.GCThreads = cfg.GCThreads
+		}
+		plan = core.New(c)
+	case CollectorG1:
+		plan = baselines.NewG1(cfg.HeapBytes, cfg.GCThreads)
+	case CollectorShenandoah:
+		plan = baselines.NewShenandoah(cfg.HeapBytes, cfg.GCThreads)
+	case CollectorZGC:
+		z := baselines.NewZGC(cfg.HeapBytes, cfg.GCThreads)
+		if z == nil {
+			return nil, errZGCMinHeap
+		}
+		plan = z
+	case CollectorSerial:
+		plan = baselines.NewSerial(cfg.HeapBytes)
+	case CollectorParallel:
+		plan = baselines.NewParallel(cfg.HeapBytes, cfg.GCThreads)
+	case CollectorSemiSpace:
+		plan = baselines.NewSemiSpace("SemiSpace", cfg.HeapBytes, cfg.GCThreads)
+	case CollectorImmix:
+		plan = baselines.NewImmix(cfg.HeapBytes, cfg.GCThreads, false)
+	default:
+		return nil, errUnknownCollector(cfg.Collector)
+	}
+	return &Runtime{VM: vm.New(plan, cfg.GlobalRoots)}, nil
+}
+
+type errUnknownCollector string
+
+func (e errUnknownCollector) Error() string { return "lxr: unknown collector " + string(e) }
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+var errZGCMinHeap = errString("lxr: ZGC requires a larger minimum heap")
+
+// LXRConfig re-exports the full LXR configuration type.
+type LXRConfig = core.Config
