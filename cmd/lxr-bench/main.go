@@ -5,11 +5,17 @@
 //
 //	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|all
 //	          [-scale quick|default] [-gcthreads N] [-bench name,name,...]
+//	          [-json file|-]
+//
+// -json additionally emits every executed run as a machine-readable
+// JSON array of summaries (pause percentiles, throughput, STW totals)
+// to the given file, or to stdout with "-". See EXPERIMENTS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -24,10 +30,32 @@ func main() {
 		scale      = flag.String("scale", "default", "workload scaling: quick or default")
 		gcThreads  = flag.Int("gcthreads", 4, "parallel GC threads")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
+		jsonOut    = flag.String("json", "", "write run summaries as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
 	opts := harness.Options{GCThreads: *gcThreads, Out: os.Stdout}
+	var summaries []harness.RunSummary
+	var jsonFile *os.File
+	curExperiment := ""
+	if *jsonOut != "" {
+		// Open the output file before running anything: a typo'd path
+		// must fail fast, not after hours of experiments.
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			jsonFile = f
+			defer f.Close()
+		}
+		opts.Record = func(r *harness.RunResult) {
+			s := r.Summary()
+			s.Experiment = curExperiment
+			summaries = append(summaries, s)
+		}
+	}
 	switch *scale {
 	case "quick":
 		opts.Scale = workload.QuickScale()
@@ -43,6 +71,7 @@ func main() {
 
 	run := func(id string) {
 		start := time.Now()
+		curExperiment = id
 		fmt.Printf("== %s ==\n", id)
 		switch id {
 		case "table1":
@@ -74,7 +103,18 @@ func main() {
 		for _, id := range []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity"} {
 			run(id)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if *jsonOut != "" {
+		w := io.Writer(os.Stdout)
+		if jsonFile != nil {
+			w = jsonFile
+		}
+		if err := harness.WriteJSON(w, summaries); err != nil {
+			fmt.Fprintf(os.Stderr, "write json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

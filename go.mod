@@ -1,0 +1,3 @@
+module lxr
+
+go 1.24

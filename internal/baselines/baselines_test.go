@@ -2,6 +2,7 @@ package baselines_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"lxr/internal/baselines"
@@ -37,16 +38,19 @@ func exercise(t *testing.T, v *vm.VM, iters int) {
 	m := v.RegisterMutator(8)
 	defer m.Deregister()
 
+	// The list head lives in Roots[0] and every link store reads it back
+	// from there: Alloc is a safepoint, and a collection there may move
+	// the head — only root slots are updated by the collector (the
+	// mutator discipline of lxr.go). A raw local held across the Alloc
+	// would dangle once the collector reuses the evacuated-from space.
 	const listLen = 800
-	var head obj.Ref
 	for i := listLen - 1; i >= 0; i-- {
 		n := m.Alloc(1, 1, 16)
 		m.WritePayload(n, 0, uint64(i))
-		if !head.IsNil() {
-			m.Store(n, 0, head)
+		if !m.Roots[0].IsNil() {
+			m.Store(n, 0, m.Roots[0])
 		}
-		head = n
-		m.Roots[0] = head
+		m.Roots[0] = n
 	}
 	m.Roots[1] = m.Roots[0]
 	m.Roots[0] = 0
@@ -199,5 +203,61 @@ func TestG1RunsMixedCollections(t *testing.T) {
 	m.RequestGC()
 	if p.PausesYoung() == 0 {
 		t.Fatal("G1 never ran a young collection")
+	}
+}
+
+// TestG1TightHeapEvacuationFailure drives G1 at near-full occupancy so
+// young evacuation pauses exhaust the physical copy space. The
+// collector must promote the affected objects in place (self-forwarded,
+// region retired to the old generation) instead of panicking inside the
+// pause — the seed crashed with heap corruption here — and every live
+// object must stay intact. A clean mutator-path OOM ("out of memory")
+// is an acceptable outcome at the tightest settings.
+func TestG1TightHeapEvacuationFailure(t *testing.T) {
+	for _, liveNodes := range []int{20000, 30000, 40000} {
+		p := baselines.NewG1(2<<20, 2)
+		v := vm.New(p, 8)
+		oom := func() (oom bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if s, ok := r.(string); ok && strings.Contains(s, "out of memory") {
+						oom = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			m := v.RegisterMutator(8)
+			defer m.Deregister()
+			for i := 0; i < liveNodes; i++ {
+				n := m.Alloc(1, 1, 8)
+				m.WritePayload(n, 0, uint64(i))
+				if !m.Roots[0].IsNil() {
+					m.Store(n, 0, m.Roots[0])
+				}
+				m.Roots[0] = n
+			}
+			for i := 0; i < 20000; i++ {
+				g := m.Alloc(2, 2, 40)
+				m.Store(g, 0, m.Roots[0])
+				m.Roots[2] = g
+			}
+			// Walk the whole live list: promote-in-place must not have
+			// split or corrupted any object.
+			cur := m.Roots[0]
+			for i := liveNodes - 1; i >= 0; i-- {
+				if cur.IsNil() {
+					t.Fatalf("liveNodes=%d: list truncated at %d", liveNodes, i)
+				}
+				if got := m.ReadPayload(cur, 0); got != uint64(i) {
+					t.Fatalf("liveNodes=%d: node %d corrupted: %d", liveNodes, i, got)
+				}
+				cur = m.Load(cur, 0)
+			}
+			return false
+		}()
+		failures := p.EvacFailures()
+		v.Shutdown()
+		t.Logf("liveNodes=%d: %d in-place promotions, oom=%v", liveNodes, failures, oom)
 	}
 }

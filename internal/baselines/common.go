@@ -80,11 +80,12 @@ func (b *base) oom(l obj.Layout) {
 	panic(fmt.Sprintf("%s: out of memory allocating %d bytes: %s", b.name, l.Size, b.bt))
 }
 
-// copyInto evacuates ref using the worker's allocator, racing with other
-// workers via the forwarding word. Returns the (possibly pre-existing)
-// new address. Panics on copy-reserve exhaustion if must is set;
-// otherwise leaves the object in place.
-func (b *base) copyInto(al *immix.Allocator, ref obj.Ref) obj.Ref {
+// copyWith evacuates ref using the worker's allocator, racing with
+// other workers via the forwarding word. On copy-space exhaustion the
+// caller-supplied onExhausted policy runs while the claim (FwdBusy) is
+// still held; it must leave the forwarding word in a terminal state
+// (abandon or install) before returning the address racers should see.
+func (b *base) copyWith(al *immix.Allocator, ref obj.Ref, onExhausted func(obj.Ref) obj.Ref) obj.Ref {
 	for {
 		fw := b.om.ForwardingWord(ref)
 		switch fw & 3 {
@@ -99,13 +100,41 @@ func (b *base) copyInto(al *immix.Allocator, ref obj.Ref) obj.Ref {
 		size := b.om.Size(ref)
 		dst, ok := al.Alloc(size)
 		if !ok {
-			b.om.AbandonForwarding(ref)
-			return mem.Nil
+			return onExhausted(ref)
 		}
 		b.om.CopyTo(ref, dst)
 		b.om.InstallForwarding(ref, dst)
 		return dst
 	}
+}
+
+// copyInto is copyWith with the strict-copying policy: on exhaustion
+// the claim is abandoned and Nil returned (the object stays in place).
+func (b *base) copyInto(al *immix.Allocator, ref obj.Ref) obj.Ref {
+	return b.copyWith(al, ref, func(r obj.Ref) obj.Ref {
+		b.om.AbandonForwarding(r)
+		return mem.Nil
+	})
+}
+
+// saneRef reports whether v plausibly decodes to an object: granule-
+// aligned, inside the arena, with a credible header size. Values read
+// through stale dirty/remset slots or scanned mid-reuse by a concurrent
+// trace can be arbitrary bit patterns; following them would walk wild
+// slot counts or copy wild sizes (the same defensive check LXR's core
+// applies everywhere).
+func (b *base) saneRef(v obj.Ref) bool {
+	if v.IsNil() || v&(mem.Granule-1) != 0 || !b.om.A.Contains(v) {
+		return false
+	}
+	s := b.om.Size(v)
+	if s < obj.MinSize {
+		return false
+	}
+	if s > obj.LargeThreshold && !b.om.IsLarge(v) {
+		return false
+	}
+	return true
 }
 
 // markBits is a helper constructing a fresh granule-grained mark table.

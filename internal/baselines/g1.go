@@ -49,10 +49,11 @@ type G1 struct {
 	// concurrent mark driver
 	ctl *markController
 
-	gcScheduled atomic.Bool
-	pausesYoung int64
-	pausesMixed int64
-	evacMarks   *meta.BitTable // per-pause scan-once scratch
+	gcScheduled  atomic.Bool
+	pausesYoung  int64
+	pausesMixed  int64
+	evacFailures atomic.Int64   // objects promoted in place (copy space exhausted)
+	evacMarks    *meta.BitTable // per-pause scan-once scratch
 }
 
 // NewG1 creates a G1-like plan.
@@ -67,9 +68,7 @@ func NewG1(heapBytes, gcThreads int) *G1 {
 		Marks: p.marks,
 		// Concurrent marking can pop stale queue entries whose memory
 		// was reclaimed; the filter shields the trace from them.
-		Filter: func(r obj.Ref) bool {
-			return r&(mem.Granule-1) == 0 && p.om.A.Contains(r)
-		},
+		Filter: p.saneRef,
 		OnMark: func(r obj.Ref) {
 			if !p.om.IsLarge(r) {
 				p.bt.AddLive(r.Block(), int32(p.om.Size(r)))
@@ -113,7 +112,10 @@ func (p *G1) Boot(v *vm.VM) {
 }
 
 // Shutdown implements vm.Plan.
-func (p *G1) Shutdown() { p.ctl.stop() }
+func (p *G1) Shutdown() {
+	p.ctl.stop()
+	p.pool.Stop()
+}
 
 // BindMutator implements vm.Plan.
 func (p *G1) BindMutator(m *vm.Mutator) {
@@ -133,8 +135,12 @@ func (p *G1) BindMutator(m *vm.Mutator) {
 func (p *G1) UnbindMutator(m *vm.Mutator) {
 	ms := m.PlanState.(*g1Mut)
 	ms.alloc.Flush()
-	p.ctl.dirty.Append(ms.dirty.Take())
-	p.ctl.satbIn.Append(ms.satbB.Take())
+	for _, s := range ms.dirty.TakeSegs() {
+		p.ctl.dirty.Append(s)
+	}
+	for _, s := range ms.satbB.TakeSegs() {
+		p.ctl.satbIn.Append(s)
+	}
 	m.PlanState = nil
 }
 
@@ -248,23 +254,25 @@ func (p *G1) collect() {
 	p.pausesYoung++
 
 	var dirty []mem.Address
-	var satbOld []mem.Address
+	var satbSegs [][]mem.Address
 	p.vm.EachMutator(func(m *vm.Mutator) {
 		ms := m.PlanState.(*g1Mut)
 		ms.alloc.Flush()
 		dirty = ms.dirty.TakeInto(dirty)
-		satbOld = ms.satbB.TakeInto(satbOld)
+		satbSegs = append(satbSegs, ms.satbB.TakeSegs()...)
 	})
 	dirty = append(dirty, p.ctl.dirty.Take()...)
-	satbOld = append(satbOld, p.ctl.satbIn.Take()...)
+	satbSegs = append(satbSegs, p.ctl.satbIn.TakeSegs()...)
 	if p.marking.Load() {
 		// Final mark: when the concurrent tracer has drained everything
 		// captured up to the previous epoch, this pause seeds the last
-		// captures, completes the closure in parallel, selects the old
-		// collection set from the measured liveness, and reclaims dead
-		// large objects.
+		// captures (segment-granular, no flattening), completes the
+		// closure in parallel, selects the old collection set from the
+		// measured liveness, and reclaims dead large objects.
 		wasIdle := !p.tracer.Pending()
-		p.tracer.Seed(satbOld)
+		for _, s := range satbSegs {
+			p.tracer.Seed(s)
+		}
 		if wasIdle {
 			p.tracer.DrainParallel(p.pool)
 			p.finishMark()
@@ -343,13 +351,39 @@ func (p *G1) collect() {
 		},
 		func(w *gcwork.Worker) { w.Scratch.(*immix.Allocator).Flush() })
 
-	// Free all young regions and the evacuated old cset.
+	// The concurrent mark's pending stack and inbox may hold addresses
+	// of objects this pause just moved; resolve them through the (still
+	// intact) forwarding words before the moved-from regions can be
+	// reused, or the trace would silently under-mark and a later mixed
+	// collection would free live regions.
+	if p.marking.Load() {
+		p.tracer.ResolvePending(func(r obj.Ref) obj.Ref {
+			if r&(mem.Granule-1) != 0 || !p.om.A.Contains(r) {
+				return r
+			}
+			return p.om.Resolve(r)
+		})
+	}
+
+	// Free all young regions and — only at a mixed pause, when the cset
+	// was evacuated above — the FlagDefrag old regions. Outside a mixed
+	// pause the flag marks un-evacuated *candidates* of an in-flight
+	// mark (set at startMark), which are full of live objects; freeing
+	// them here destroyed live data. Regions that suffered an
+	// evacuation failure are promoted in place instead: they keep their
+	// objects and join the old generation.
 	p.bt.AllBlocks(func(idx int) {
 		st := p.bt.State(idx)
 		if st != immix.StateFull && st != immix.StateReserved {
 			return
 		}
-		if p.bt.Kind(idx) == g1KindYoung || p.bt.HasFlag(idx, immix.FlagDefrag) {
+		if p.bt.Kind(idx) == g1KindYoung || (mixed && p.bt.HasFlag(idx, immix.FlagDefrag)) {
+			if p.bt.HasFlag(idx, immix.FlagEvacuating) {
+				p.clearSelfForwards(idx)
+				p.bt.ClearFlag(idx, immix.FlagEvacuating|immix.FlagDefrag)
+				p.bt.SetKind(idx, g1KindOld)
+				return
+			}
 			p.reuse.BumpRange(mem.BlockStart(idx), mem.BlockStart(idx)+mem.BlockSize)
 			p.bt.ReleaseFree(idx)
 		}
@@ -384,15 +418,19 @@ func (p *G1) evacuate(w *gcwork.Worker, ref obj.Ref, evacMarks *meta.BitTable) (
 		}
 		return ref, false
 	}
-	al := w.Scratch.(*immix.Allocator)
-	nv := p.copyInto(al, ref)
-	if nv.IsNil() {
-		p.oom(obj.Layout{Size: p.om.Size(ref)})
+	if !p.saneRef(ref) {
+		// A stale dirty/remset slot whose value happens to land in an
+		// in-scope region but does not decode to an object: copying it
+		// would trust a garbage header. Leave the slot alone.
+		return ref, false
 	}
+	al := w.Scratch.(*immix.Allocator)
+	nv := p.copyOrPin(al, ref)
 	if evacMarks.TrySet(nv) {
 		// Keep promoted objects live for an in-flight concurrent mark
 		// (they are new since the snapshot).
-		if p.marking.Load() {
+		marking := p.marking.Load()
+		if marking {
 			p.marks.Set(nv)
 			p.bt.AddLive(nv.Block(), int32(p.om.Size(nv)))
 		}
@@ -404,14 +442,62 @@ func (p *G1) evacuate(w *gcwork.Worker, ref obj.Ref, evacMarks *meta.BitTable) (
 				// Promotion scan stands in for the marking trace on
 				// this (now-marked) object: feed the mixed-collection
 				// remembered sets, or evacuation would miss the slot.
-				if (p.marking.Load() || p.markDone.Load()) && p.bt.HasFlag(v.Block(), immix.FlagDefrag) {
+				if (marking || p.markDone.Load()) && p.bt.HasFlag(v.Block(), immix.FlagDefrag) {
 					p.rem.Record(slot, v.Block())
+				}
+				if marking {
+					// The copy is marked without ever being scanned by
+					// the tracer (its TrySet will fail), so its snapshot
+					// edges must be handed to the trace here — otherwise
+					// the closure is cut and everything reachable only
+					// through this object stays unmarked, letting a
+					// later mixed collection free live regions. Young
+					// targets seeded here are resolved through their
+					// forwarding words at the end of this pause
+					// (ResolvePending).
+					p.tracer.SeedOne(v)
 				}
 				w.Push(slot)
 			}
 		}
 	}
 	return nv, true
+}
+
+// copyOrPin is copyWith with real G1's evacuation-failure policy: when
+// the copy space is physically exhausted the object is self-forwarded
+// (so every racing and later reference resolves to the in-place copy —
+// the object can never split) and its region is flagged for in-place
+// promotion at the end of the pause.
+func (p *G1) copyOrPin(al *immix.Allocator, ref obj.Ref) obj.Ref {
+	return p.copyWith(al, ref, func(r obj.Ref) obj.Ref {
+		p.om.InstallForwarding(r, r)
+		p.bt.SetFlag(r.Block(), immix.FlagEvacuating)
+		p.evacFailures.Add(1)
+		return r
+	})
+}
+
+// clearSelfForwards resets the self-forwarding pointers installed by
+// evacuation failure (real G1's "remove self-forwards" pause phase),
+// walking the promoted region's bump-allocated contiguous objects. The
+// pointers must not survive the pause: a later mixed collection would
+// read them as "already evacuated" and free the region under a live
+// object.
+func (p *G1) clearSelfForwards(idx int) {
+	a := mem.BlockStart(idx)
+	end := a + mem.BlockSize
+	for a < end {
+		size := int(uint32(p.om.A.Load(a)))
+		if size < obj.MinSize || size > mem.BlockSize {
+			return // unallocated tail
+		}
+		r := obj.Ref(a)
+		if fw := p.om.ForwardingWord(r); fw&3 == obj.FwdForwarded && obj.Ref(fw>>2) == r {
+			p.om.AbandonForwarding(r)
+		}
+		a = (a + mem.Address(size)).AlignUp(mem.Granule)
+	}
 }
 
 // startMark begins a concurrent marking cycle: liveness accounting is
@@ -560,3 +646,7 @@ func (p *G1) PausesYoung() int64 { return p.pausesYoung }
 
 // PausesMixed returns mixed pause count (telemetry).
 func (p *G1) PausesMixed() int64 { return p.pausesMixed }
+
+// EvacFailures returns how many objects were promoted in place because
+// the evacuation copy space was exhausted (telemetry).
+func (p *G1) EvacFailures() int64 { return p.evacFailures.Load() }

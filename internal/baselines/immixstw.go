@@ -60,8 +60,9 @@ func (l immixLines) LineFree(idx int) bool { return !l.t.Get(mem.LineStart(idx))
 // Boot implements vm.Plan.
 func (p *Immix) Boot(v *vm.VM) { p.vm = v }
 
-// Shutdown implements vm.Plan.
-func (p *Immix) Shutdown() {}
+// Shutdown implements vm.Plan: parks and releases the persistent GC
+// worker pool.
+func (p *Immix) Shutdown() { p.pool.Stop() }
 
 // BindMutator implements vm.Plan.
 func (p *Immix) BindMutator(m *vm.Mutator) {
@@ -156,9 +157,10 @@ func (p *Immix) collect() {
 	p.vm.EachMutator(func(m *vm.Mutator) {
 		ms := m.PlanState.(*immixMut)
 		ms.alloc.Flush()
-		// Discard barrier captures; re-arming happens via marking below.
-		ms.decBuf.Take()
-		ms.modBuf.Take()
+		// Discard barrier captures (segment-granular, no flattening);
+		// re-arming happens via marking below.
+		ms.decBuf.TakeSegs()
+		ms.modBuf.TakeSegs()
 		for _, r := range m.Roots {
 			if !r.IsNil() {
 				seeds = append(seeds, r)

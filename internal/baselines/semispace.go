@@ -47,8 +47,9 @@ type ssMut struct{ alloc immix.Allocator }
 // Boot implements vm.Plan.
 func (p *SemiSpace) Boot(v *vm.VM) { p.vm = v }
 
-// Shutdown implements vm.Plan.
-func (p *SemiSpace) Shutdown() {}
+// Shutdown implements vm.Plan: parks and releases the persistent GC
+// worker pool.
+func (p *SemiSpace) Shutdown() { p.pool.Stop() }
 
 // BindMutator implements vm.Plan.
 func (p *SemiSpace) BindMutator(m *vm.Mutator) {

@@ -78,11 +78,9 @@ func newShen(name string, heapBytes, gcThreads int, lvb bool) *Shen {
 	p := &Shen{base: newBase(name, heapBytes, gcThreads), lvb: lvb, done: make(chan struct{})}
 	p.marks = markBits(p.bt.Arena)
 	p.tracer = &satb.Tracer{
-		OM:    p.om,
-		Marks: p.marks,
-		Filter: func(r obj.Ref) bool {
-			return r&(mem.Granule-1) == 0 && p.om.A.Contains(r)
-		},
+		OM:     p.om,
+		Marks:  p.marks,
+		Filter: p.saneRef,
 		OnMark: func(r obj.Ref) {
 			if !p.om.IsLarge(r) {
 				p.bt.AddLive(r.Block(), int32(p.om.Size(r)))
@@ -112,6 +110,7 @@ func (p *Shen) Shutdown() {
 	p.cycleCond.Broadcast()
 	p.cycleMu.Unlock()
 	<-p.done
+	p.pool.Stop()
 }
 
 // BindMutator implements vm.Plan.
@@ -127,7 +126,9 @@ func (p *Shen) UnbindMutator(m *vm.Mutator) {
 	ms := m.PlanState.(*shenMut)
 	ms.alloc.Flush()
 	ms.evac.Flush()
-	p.satbIn.Append(ms.satbB.Take())
+	for _, s := range ms.satbB.TakeSegs() {
+		p.satbIn.Append(s)
+	}
 	m.PlanState = nil
 }
 
@@ -199,7 +200,9 @@ func (p *Shen) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
 		if old := p.om.A.LoadRef(slot); !old.IsNil() {
 			ms.satbB.Push(old)
 			if ms.satbB.Len() >= 4096 {
-				p.satbIn.Append(ms.satbB.Take())
+				for _, s := range ms.satbB.TakeSegs() {
+					p.satbIn.Append(s)
+				}
 			}
 		}
 	}
@@ -360,7 +363,9 @@ func (p *Shen) runCycle() {
 	// Concurrent mark.
 	for {
 		t0 := time.Now()
-		p.tracer.Seed(refsOf(p.satbIn.Take()))
+		for _, s := range p.satbIn.TakeSegs() {
+			p.tracer.Seed(refsOf(s))
+		}
 		idle := p.tracer.Step(8192)
 		p.vm.Stats.AddConcurrentWork(time.Since(t0))
 		if idle && p.satbIn.Len() == 0 {
@@ -384,7 +389,9 @@ func (p *Shen) runCycle() {
 				ms.alloc.Flush()
 				ms.evac.Flush()
 			})
-			p.tracer.Seed(refsOf(p.satbIn.Take()))
+			for _, s := range p.satbIn.TakeSegs() {
+				p.tracer.Seed(refsOf(s))
+			}
 			p.tracer.DrainParallel(p.pool)
 			p.tracer.Finish()
 			p.cset = p.cset[:0]

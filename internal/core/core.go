@@ -221,8 +221,12 @@ func New(cfg Config) *LXR {
 		Filter: func(r obj.Ref) bool {
 			return p.plausibleRef(r) && p.rc.Get(r) != 0 && !p.straddle.Get(r) && p.saneRef(r)
 		},
+		// Concurrent tracing can scan slots whose values are torn or
+		// stale (the memory may have been reclaimed mid-trace); the
+		// plausibility check shields the block-table lookup, exactly as
+		// the baselines' OnEdge hooks do.
 		OnEdge: func(slot mem.Address, v obj.Ref) {
-			if p.bt.HasFlag(v.Block(), immix.FlagDefrag) {
+			if p.plausibleRef(v) && p.bt.HasFlag(v.Block(), immix.FlagDefrag) {
 				p.rem.Record(slot, v.Block())
 			}
 		},
@@ -261,7 +265,10 @@ func (p *LXR) Boot(v *vm.VM) {
 }
 
 // Shutdown implements vm.Plan.
-func (p *LXR) Shutdown() { p.conc.stop() }
+func (p *LXR) Shutdown() {
+	p.conc.stop()
+	p.pool.Stop()
+}
 
 // Epoch returns the number of completed RC epochs.
 func (p *LXR) Epoch() uint64 { return p.epoch.Load() }
@@ -320,9 +327,14 @@ func (p *LXR) BindMutator(m *vm.Mutator) {
 func (p *LXR) UnbindMutator(m *vm.Mutator) {
 	ms := m.PlanState.(*mutState)
 	ms.alloc.Flush()
-	// Buffers are drained at the next pause via the shared queues.
-	p.conc.decs.Append(ms.decBuf.Take())
-	p.conc.mods.Append(ms.modBuf.Take())
+	// Buffers are drained at the next pause via the shared queues,
+	// segment-granular (no flattening copy).
+	for _, s := range ms.decBuf.TakeSegs() {
+		p.conc.decs.Append(s)
+	}
+	for _, s := range ms.modBuf.TakeSegs() {
+		p.conc.mods.Append(s)
+	}
 	m.PlanState = nil
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"lxr/internal/gcwork"
 	"lxr/internal/immix"
 	"lxr/internal/mem"
@@ -61,28 +59,33 @@ func (p *LXR) applyDec(ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
 
 // processDecsInPause drains a decrement batch with the parallel worker
 // pool (used by the -LD ablation and when a pause catches unfinished
-// lazy decrements).
+// lazy decrements). Each worker records touched blocks in its own slot
+// of a per-worker result array — worker IDs are stable across the
+// pool's lifetime — so the merge needs no lock.
 func (p *LXR) processDecsInPause(decs []mem.Address) {
 	if len(decs) == 0 {
 		return
 	}
-	var mu sync.Mutex
-	touched := map[int]struct{}{}
+	perWorker := make([]map[int]struct{}, p.pool.N)
 	p.pool.Drain(decs,
-		func(w *gcwork.Worker) { w.Scratch = map[int]struct{}{} },
+		func(w *gcwork.Worker) {
+			m := map[int]struct{}{}
+			perWorker[w.ID] = m
+			w.Scratch = m
+		},
 		func(w *gcwork.Worker, a mem.Address) {
 			local := w.Scratch.(map[int]struct{})
 			p.applyDec(obj.Ref(a),
 				func(c obj.Ref) { w.Push(c) },
 				func(b int) { local[b] = struct{}{} })
 		},
-		func(w *gcwork.Worker) {
-			mu.Lock()
-			for b := range w.Scratch.(map[int]struct{}) {
-				touched[b] = struct{}{}
-			}
-			mu.Unlock()
-		})
+		nil)
+	touched := map[int]struct{}{}
+	for _, m := range perWorker {
+		for b := range m {
+			touched[b] = struct{}{}
+		}
+	}
 	for b := range touched {
 		p.maybeReleaseAfterDecs(b)
 	}

@@ -64,17 +64,20 @@ func (p *LXR) pausePipeline(cause string) {
 	st.Add(CtrPauses, 1)
 
 	// 1. Flush mutator state: thread-local allocators (their bump spans
-	// may be reclaimed below) and barrier buffers.
-	var decSeeds, modSlots []mem.Address
+	// may be reclaimed below) and barrier buffers. Modified-field
+	// captures stay segment-granular: the segments are handed to the
+	// scheduler whole instead of being flattened into one copy.
+	var decSeeds []mem.Address
+	var modSegs [][]mem.Address
 	p.vm.EachMutator(func(m *vm.Mutator) {
 		ms := m.PlanState.(*mutState)
 		ms.alloc.Flush()
 		ms.alloc.HarvestSinceEpoch()
 		decSeeds = ms.decBuf.TakeInto(decSeeds)
-		modSlots = ms.modBuf.TakeInto(modSlots)
+		modSegs = append(modSegs, ms.modBuf.TakeSegs()...)
 	})
 	decSeeds = append(decSeeds, p.conc.decs.Take()...)
-	modSlots = append(modSlots, p.conc.mods.Take()...)
+	modSegs = append(modSegs, p.conc.mods.TakeSegs()...)
 	allocVol := p.allocSince.Swap(0)
 	p.logsSince.Store(0)
 	st.Add(CtrAllocBytes, allocVol)
@@ -114,15 +117,22 @@ func (p *LXR) pausePipeline(cause string) {
 	p.copiedY.Store(0)
 	p.promoted.Store(0)
 	p.collectRootSlots()
-	items := modSlots
-	for i := range p.rootSlots {
-		items = append(items, rootTag|mem.Address(i))
+	if len(p.rootSlots) > 0 {
+		rootItems := make([]mem.Address, 0, len(p.rootSlots))
+		for i := range p.rootSlots {
+			rootItems = append(rootItems, rootTag|mem.Address(i))
+		}
+		modSegs = append(modSegs, rootItems)
 	}
-	p.drainIncrements(items)
+	p.drainIncrements(modSegs)
 
 	// 5. Deferred root decrements: last epoch's root referents receive
 	// decrements now; this epoch's roots are buffered for the next.
-	decs := append(decSeeds, refsToAddrs(p.rootDecs)...)
+	// decSeeds may be aliased by the tracer inbox (Seed is zero-copy),
+	// so the combined batch goes into a fresh slice.
+	decs := make([]mem.Address, 0, len(decSeeds)+len(p.rootDecs))
+	decs = append(decs, decSeeds...)
+	decs = append(decs, p.rootDecs...)
 	p.rootDecs = p.rootDecs[:0]
 	for _, s := range p.rootSlots {
 		if !(*s).IsNil() {
@@ -180,12 +190,6 @@ func (p *LXR) pausePipeline(cause string) {
 	p.epoch.Add(1)
 }
 
-func refsToAddrs(rs []obj.Ref) []mem.Address {
-	out := make([]mem.Address, len(rs))
-	copy(out, rs)
-	return out
-}
-
 // collectRootSlots gathers pointers to every root slot (mutator shadow
 // stacks and globals) so increment processing can redirect them when the
 // referent is evacuated.
@@ -208,14 +212,18 @@ func (p *LXR) collectRootSlots() {
 
 // --- increment processing -----------------------------------------------------
 
-// drainIncrements processes the increment closure in parallel. Work
-// items are either heap slot addresses (from the modified-field buffer
-// or from scanning newly promoted objects) or rootTag-tagged root
-// indices. Each worker owns a survivor copy allocator so young
-// evacuation needs no locking.
-func (p *LXR) drainIncrements(items []mem.Address) {
-	incs := int64(0)
-	p.pool.Drain(items,
+// drainIncrements processes the increment closure in parallel. Seed
+// work arrives segment-granular (modified-field buffer segments plus a
+// segment of rootTag-tagged root indices); items are either heap slot
+// addresses (from the buffers or from scanning newly promoted objects)
+// or rootTag-tagged root indices. Each worker owns a survivor copy
+// allocator so young evacuation needs no locking.
+func (p *LXR) drainIncrements(segs [][]mem.Address) {
+	seeded := int64(0)
+	for _, s := range segs {
+		seeded += int64(len(s))
+	}
+	p.pool.DrainSegs(segs,
 		func(w *gcwork.Worker) {
 			w.Scratch = &immix.Allocator{
 				BT:          p.bt,
@@ -251,7 +259,7 @@ func (p *LXR) drainIncrements(items []mem.Address) {
 		func(w *gcwork.Worker) {
 			w.Scratch.(*immix.Allocator).Flush()
 		})
-	p.vm.Stats.Add(CtrIncrements, incs+int64(len(items)))
+	p.vm.Stats.Add(CtrIncrements, seeded)
 }
 
 // applyInc applies one coalesced increment to the referent of a slot,

@@ -1,0 +1,158 @@
+package gcwork
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lxr/internal/mem"
+)
+
+// segSize is the segment length of address buffers.
+const segSize = 1024
+
+// AddrBuffer is an append-only buffer of addresses stored in fixed-size
+// segments. Mutators fill private buffers between collections; at a
+// pause the plan takes all segments at once. The zero value is ready to
+// use.
+type AddrBuffer struct {
+	segs [][]mem.Address
+	cur  []mem.Address
+	n    int
+}
+
+// Push appends an address.
+func (b *AddrBuffer) Push(a mem.Address) {
+	if len(b.cur) == cap(b.cur) {
+		if b.cur != nil {
+			b.segs = append(b.segs, b.cur)
+		}
+		b.cur = make([]mem.Address, 0, segSize)
+	}
+	b.cur = append(b.cur, a)
+	b.n++
+}
+
+// Len returns the number of buffered addresses.
+func (b *AddrBuffer) Len() int { return b.n }
+
+// Take removes and returns all buffered addresses as a flat slice.
+func (b *AddrBuffer) Take() []mem.Address {
+	out := make([]mem.Address, 0, b.n)
+	for _, s := range b.segs {
+		out = append(out, s...)
+	}
+	out = append(out, b.cur...)
+	b.segs, b.cur, b.n = nil, nil, 0
+	return out
+}
+
+// TakeInto appends all buffered addresses to dst and clears the buffer.
+func (b *AddrBuffer) TakeInto(dst []mem.Address) []mem.Address {
+	for _, s := range b.segs {
+		dst = append(dst, s...)
+	}
+	dst = append(dst, b.cur...)
+	b.segs, b.cur, b.n = nil, nil, 0
+	return dst
+}
+
+// TakeSegs removes and returns the buffered addresses as their
+// underlying segments, without flattening: the segments can be handed
+// straight to Pool.DrainSegs as seed work.
+func (b *AddrBuffer) TakeSegs() [][]mem.Address {
+	out := b.segs
+	if len(b.cur) > 0 {
+		out = append(out, b.cur)
+	}
+	b.segs, b.cur, b.n = nil, nil, 0
+	return out
+}
+
+// qShards is the shard count of SharedAddrQueue. Shards are picked by
+// address (Push) or round-robin (Append), so concurrent producers —
+// barrier flushes, parallel pause workers seeding the tracer — rarely
+// collide on the same shard lock.
+const qShards = 8
+
+// SharedAddrQueue is a sharded queue of address segments shared between
+// mutator flushes and collector threads. Appended slices are taken over
+// by the queue as whole segments (no copy); the caller must not append
+// to a slice after handing it over. Ordering across producers is not
+// preserved — all consumers (tracer inbox, RC queues) are order-
+// insensitive.
+type SharedAddrQueue struct {
+	shards [qShards]qShard
+	rr     atomic.Uint32 // round-robin cursor for Append
+	n      atomic.Int64
+}
+
+type qShard struct {
+	mu   sync.Mutex
+	segs [][]mem.Address
+	cur  []mem.Address
+	_    [4]uint64 // pad against false sharing between shard locks
+}
+
+// Append hands a slice of addresses to the queue as one segment.
+func (q *SharedAddrQueue) Append(as []mem.Address) {
+	if len(as) == 0 {
+		return
+	}
+	q.n.Add(int64(len(as)))
+	sh := &q.shards[q.rr.Add(1)%qShards]
+	sh.mu.Lock()
+	sh.segs = append(sh.segs, as)
+	sh.mu.Unlock()
+}
+
+// Push adds one address, sharded by its value.
+func (q *SharedAddrQueue) Push(a mem.Address) {
+	q.n.Add(1)
+	sh := &q.shards[(uint64(a)>>mem.GranuleLog)%qShards]
+	sh.mu.Lock()
+	if len(sh.cur) == cap(sh.cur) {
+		if sh.cur != nil {
+			sh.segs = append(sh.segs, sh.cur)
+		}
+		sh.cur = make([]mem.Address, 0, segSize)
+	}
+	sh.cur = append(sh.cur, a)
+	sh.mu.Unlock()
+}
+
+// Take removes and returns everything queued as one flat slice.
+func (q *SharedAddrQueue) Take() []mem.Address {
+	var out []mem.Address
+	for _, s := range q.TakeSegs() {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// TakeSegs removes and returns everything queued, segment-granular.
+func (q *SharedAddrQueue) TakeSegs() [][]mem.Address {
+	var out [][]mem.Address
+	for i := range q.shards {
+		sh := &q.shards[i]
+		sh.mu.Lock()
+		segs, cur := sh.segs, sh.cur
+		sh.segs, sh.cur = nil, nil
+		sh.mu.Unlock()
+		taken := 0
+		for _, s := range segs {
+			taken += len(s)
+			out = append(out, s)
+		}
+		if len(cur) > 0 {
+			taken += len(cur)
+			out = append(out, cur)
+		}
+		if taken > 0 {
+			q.n.Add(-int64(taken))
+		}
+	}
+	return out
+}
+
+// Len returns the queued count with one atomic load.
+func (q *SharedAddrQueue) Len() int { return int(q.n.Load()) }

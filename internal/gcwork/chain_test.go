@@ -1,0 +1,28 @@
+package gcwork_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/mem"
+)
+
+// A long linear chain: item n pushes n-1. Exactly one item live at a
+// time — mimics evacuating a linked list.
+func TestDrainLinearChain(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		p := gcwork.NewPool(2)
+		var visits atomic.Int64
+		p.Drain([]mem.Address{20000}, nil, func(w *gcwork.Worker, a mem.Address) {
+			visits.Add(1)
+			if a > 1 {
+				w.Push(a - 1)
+			}
+		}, nil)
+		if got := visits.Load(); got != 20000 {
+			t.Fatalf("round %d: visits %d, want 20000", round, got)
+		}
+		p.Stop()
+	}
+}

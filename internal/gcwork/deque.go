@@ -1,0 +1,145 @@
+package gcwork
+
+import (
+	"sync/atomic"
+
+	"lxr/internal/mem"
+)
+
+// chunk is the unit of work distribution: a batch of addresses published
+// by one worker and stolen whole by another. Chunk granularity amortises
+// the synchronisation cost of stealing (§3.5).
+type chunk = []mem.Address
+
+// deque is a Chase-Lev work-stealing deque of chunks (Chase & Lev 2005,
+// with the sequentially consistent memory ordering of Lê et al. 2013,
+// which Go's sync/atomic provides). The owning worker pushes and pops at
+// the bottom without contention; thieves compete for the top entry with a
+// single CAS. No path takes a lock.
+type deque struct {
+	bottom atomic.Int64 // owner end
+	top    atomic.Int64 // thief end
+	buf    atomic.Pointer[dqBuf]
+}
+
+// dqBuf is one ring buffer generation. Growth allocates a fresh buffer
+// (never mutating the old one) so thieves holding a stale pointer still
+// read the chunk that lived at their claimed index.
+type dqBuf struct {
+	mask int64
+	slot []atomic.Pointer[chunk]
+}
+
+const dqInitialSize = 64
+
+func newDqBuf(size int64) *dqBuf {
+	return &dqBuf{mask: size - 1, slot: make([]atomic.Pointer[chunk], size)}
+}
+
+func (d *deque) init() {
+	d.buf.Store(newDqBuf(dqInitialSize))
+}
+
+// push publishes a chunk at the bottom. Owner only.
+func (d *deque) push(c *chunk) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= int64(len(buf.slot)) {
+		buf = d.grow(buf, b, t)
+	}
+	buf.slot[b&buf.mask].Store(c)
+	d.bottom.Store(b + 1)
+}
+
+func (d *deque) grow(old *dqBuf, b, t int64) *dqBuf {
+	nb := newDqBuf(int64(len(old.slot)) * 2)
+	for i := t; i < b; i++ {
+		nb.slot[i&nb.mask].Store(old.slot[i&old.mask].Load())
+	}
+	d.buf.Store(nb)
+	return nb
+}
+
+// pop takes the most recently pushed chunk. Owner only.
+func (d *deque) pop() *chunk {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	c := buf.slot[b&buf.mask].Load()
+	if t == b {
+		// Last entry: race thieves for it via the top CAS.
+		if !d.top.CompareAndSwap(t, t+1) {
+			c = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+		return c
+	}
+	return c
+}
+
+// steal takes the oldest chunk. Safe from any goroutine. Returns nil
+// with contended=true when a racing thief (or the owner's pop of the
+// last entry) won the CAS — the deque may still hold work.
+func (d *deque) steal() (c *chunk, contended bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	buf := d.buf.Load()
+	c = buf.slot[t&buf.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return c, false
+}
+
+// empty reports whether the deque currently appears empty.
+func (d *deque) empty() bool { return d.top.Load() >= d.bottom.Load() }
+
+// injector is a lock-free Treiber stack of work segments. Coordinators
+// seed a drain phase by pushing whole segments (address-buffer segments,
+// pre-split seed views); workers pop one segment at a time before
+// resorting to stealing. Nodes are freshly allocated on every push and
+// never reinserted, so the classic ABA hazard cannot arise under Go's
+// garbage collector.
+type injector struct {
+	head atomic.Pointer[injNode]
+}
+
+type injNode struct {
+	next *injNode
+	seg  []mem.Address
+}
+
+func (q *injector) push(seg []mem.Address) {
+	n := &injNode{seg: seg}
+	for {
+		h := q.head.Load()
+		n.next = h
+		if q.head.CompareAndSwap(h, n) {
+			return
+		}
+	}
+}
+
+func (q *injector) pop() []mem.Address {
+	for {
+		h := q.head.Load()
+		if h == nil {
+			return nil
+		}
+		if q.head.CompareAndSwap(h, h.next) {
+			return h.seg
+		}
+	}
+}
+
+func (q *injector) empty() bool { return q.head.Load() == nil }

@@ -1,15 +1,24 @@
-// Package gcwork provides the parallel collection machinery: a worker
-// pool that drains dynamically generated work (mark stacks, increment
-// and decrement queues) with chunk-granularity work stealing and proper
-// termination detection, a ParallelFor for static partitioning, and
+// Package gcwork provides the parallel collection machinery: a
+// persistent, lock-free work-stealing scheduler that drains dynamically
+// generated work (mark stacks, increment and decrement queues), a
+// dynamically load-balanced ParallelFor for static partitioning, and
 // segmented address buffers used by write barriers and RC queues.
 //
 // LXR uses parallelism in every collection phase (§3.5); the same pool
-// drives the baseline collectors' parallel tracing and copying.
+// drives the baseline collectors' parallel tracing and copying. The
+// scheduler is built for sub-millisecond pauses: worker goroutines are
+// created once per Pool and parked between phases (no goroutine spawn
+// inside a pause), work distribution uses per-worker Chase-Lev deques
+// (no mutex on any publish, pop or steal), and termination is detected
+// with atomic idle/epoch counters (no condition-variable broadcast
+// storm).
 package gcwork
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lxr/internal/mem"
 )
@@ -19,12 +28,36 @@ import (
 // reference arrays (the scalability fix noted in §3.5).
 const chunkSize = 512
 
-// Pool is a reusable parallel worker pool.
+// Pool is a reusable parallel worker pool. Its N worker goroutines are
+// created on first use and persist — parked on their wake channels —
+// until Stop, so consecutive collection phases (and consecutive
+// collections) reuse the same workers and their warmed-up local stacks.
 type Pool struct {
 	N int // number of workers
+
+	workers []*Worker
+	wake    []chan *job
+	alive   sync.WaitGroup
+	once    sync.Once
+	stopped bool
+
+	// runMu serialises phase dispatch (Drain/ParallelFor callers). It is
+	// never touched by workers: the publish/pop/steal hot paths inside a
+	// phase are mutex-free.
+	runMu sync.Mutex
+
+	inj injector // phase seed segments
+
+	// Termination state for the drain in progress.
+	idle     atomic.Int32  // workers currently searching for work
+	pubEpoch atomic.Uint64 // bumped on every chunk publication
+	done     atomic.Bool   // drain-complete flag
+
+	spawned atomic.Int64 // worker goroutines ever created (telemetry)
 }
 
-// NewPool creates a pool with n workers (minimum 1).
+// NewPool creates a pool with n workers (minimum 1). Workers are started
+// lazily on the first Drain or ParallelFor.
 func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
@@ -32,28 +65,46 @@ func NewPool(n int) *Pool {
 	return &Pool{N: n}
 }
 
+// Spawned returns how many worker goroutines this pool has ever created.
+// After any number of phases it stays at N — the persistence guarantee
+// tests assert.
+func (p *Pool) Spawned() int64 { return p.spawned.Load() }
+
+// job is one parked-worker activation: either a drain (f set) or a
+// parallel-for (pf set).
+type job struct {
+	// drain
+	setup    func(w *Worker)
+	f        func(w *Worker, a mem.Address)
+	teardown func(w *Worker)
+
+	// parallel-for
+	pf    func(worker, start, end int)
+	n     int
+	next  *atomic.Int64
+	chunk int
+
+	wg *sync.WaitGroup
+}
+
 // Worker is the per-goroutine context handed to processing functions.
 // Processing functions may push new work items, which are drained before
-// the Drain call returns.
+// the Drain call returns. Workers are persistent: the same N Worker
+// values serve every phase of the pool's lifetime.
 type Worker struct {
 	ID    int
 	local []mem.Address
-	sh    *shared
+	dq    deque
+	pool  *Pool
+	rng   uint64
 	// Scratch lets phases carry per-worker state (e.g. copy allocators).
+	// It is cleared when the phase ends.
 	Scratch any
 }
 
-type shared struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	chunks  [][]mem.Address
-	waiting int
-	n       int
-	done    bool
-}
-
 // Push adds a work item for later processing. When the local stack grows
-// past two chunks, one chunk is published for stealing.
+// past two chunks, one chunk is published on the worker's own deque for
+// stealing.
 func (w *Worker) Push(a mem.Address) {
 	w.local = append(w.local, a)
 	if len(w.local) >= 2*chunkSize {
@@ -61,209 +112,285 @@ func (w *Worker) Push(a mem.Address) {
 	}
 }
 
+// publish moves the oldest chunkSize local items onto the worker's deque
+// and announces the publication to idle workers via the epoch counter.
 func (w *Worker) publish() {
-	c := make([]mem.Address, chunkSize)
+	c := make(chunk, chunkSize)
 	copy(c, w.local[:chunkSize])
 	w.local = append(w.local[:0], w.local[chunkSize:]...)
-	w.sh.mu.Lock()
-	w.sh.chunks = append(w.sh.chunks, c)
-	w.sh.mu.Unlock()
-	w.sh.cond.Signal()
+	w.dq.push(&c)
+	w.pool.pubEpoch.Add(1)
 }
 
-func (w *Worker) pop() (mem.Address, bool) {
-	if n := len(w.local); n > 0 {
-		a := w.local[n-1]
-		w.local = w.local[:n-1]
-		return a, true
-	}
-	return mem.Nil, false
-}
-
-// steal blocks until a chunk is available or global termination.
-func (w *Worker) steal() bool {
-	sh := w.sh
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+// next returns the worker's next work item, acquiring more work from its
+// deque, the injector or other workers as needed. ok=false means the
+// whole drain has terminated.
+func (w *Worker) next() (mem.Address, bool) {
 	for {
-		if len(sh.chunks) > 0 {
-			c := sh.chunks[len(sh.chunks)-1]
-			sh.chunks = sh.chunks[:len(sh.chunks)-1]
-			w.local = append(w.local, c...)
+		if n := len(w.local); n > 0 {
+			a := w.local[n-1]
+			w.local = w.local[:n-1]
+			return a, true
+		}
+		if !w.acquire() {
+			return mem.Nil, false
+		}
+	}
+}
+
+// acquire refills the local stack: own deque first, then a seed segment
+// from the injector, then stealing. When nothing is visible it enters
+// the idle protocol, returning false on global termination.
+func (w *Worker) acquire() bool {
+	p := w.pool
+	for {
+		if c := w.dq.pop(); c != nil {
+			w.local = append(w.local, *c...)
 			return true
 		}
-		sh.waiting++
-		if sh.waiting == sh.n {
-			sh.done = true
-			sh.cond.Broadcast()
+		if s := p.inj.pop(); s != nil {
+			w.local = append(w.local, s...)
+			return true
+		}
+		if w.stealOnce() {
+			return true
+		}
+		if !p.awaitWork() {
 			return false
 		}
-		for len(sh.chunks) == 0 && !sh.done {
-			sh.cond.Wait()
+	}
+}
+
+// stealOnce sweeps the other workers' deques once, starting from a
+// random victim, and ingests the first chunk it wins.
+func (w *Worker) stealOnce() bool {
+	p := w.pool
+	n := len(p.workers)
+	if n < 2 {
+		return false
+	}
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := p.workers[(off+i)%n]
+		if v == w {
+			continue
 		}
-		sh.waiting--
-		if sh.done {
+		for {
+			c, contended := v.dq.steal()
+			if c != nil {
+				w.local = append(w.local, *c...)
+				return true
+			}
+			if !contended {
+				break
+			}
+			// Lost the CAS to another thief: the victim may still hold
+			// work, retry it before moving on.
+		}
+	}
+	return false
+}
+
+// nextRand is a per-worker xorshift64 (steal-victim randomisation).
+func (w *Worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// idleSpinLimit bounds busy-waiting: beyond it idle workers sleep in
+// short quanta so an imbalanced phase does not burn a core per spinner.
+const idleSpinLimit = 128
+
+// awaitWork parks the calling worker in the idle protocol until either
+// new work becomes visible (true) or the drain terminates (false).
+//
+// Termination detection is lock-free: a worker that observes all N
+// workers idle sweeps every deque and the injector; if the sweep finds
+// nothing, the idle count still reads N, and no chunk was published
+// since the sweep began (the epoch counter is unchanged), there can be
+// no work anywhere — workers only create work while non-idle — and the
+// drain is declared complete.
+func (p *Pool) awaitWork() bool {
+	p.idle.Add(1)
+	spins := 0
+	for {
+		if p.done.Load() {
 			return false
 		}
+		if p.workVisible() {
+			p.idle.Add(-1)
+			return true
+		}
+		if p.idle.Load() == int32(p.N) {
+			e0 := p.pubEpoch.Load()
+			if !p.workVisible() && p.idle.Load() == int32(p.N) && p.pubEpoch.Load() == e0 {
+				p.done.Store(true)
+				return false
+			}
+		}
+		spins++
+		if spins < idleSpinLimit {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// workVisible reports whether any published work exists.
+func (p *Pool) workVisible() bool {
+	if !p.inj.empty() {
+		return true
+	}
+	for _, w := range p.workers {
+		if !w.dq.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// start lazily creates the persistent workers.
+func (p *Pool) start() {
+	p.once.Do(func() {
+		p.workers = make([]*Worker, p.N)
+		p.wake = make([]chan *job, p.N)
+		for i := 0; i < p.N; i++ {
+			w := &Worker{ID: i, pool: p, rng: uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+			w.dq.init()
+			p.workers[i] = w
+			p.wake[i] = make(chan *job, 1)
+			p.spawned.Add(1)
+			p.alive.Add(1)
+			go p.workerLoop(w, p.wake[i])
+		}
+	})
+}
+
+// Stop terminates the pool's worker goroutines. The pool must not be
+// used afterwards. Safe to call multiple times, or on a pool whose
+// workers never started.
+func (p *Pool) Stop() {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	for _, ch := range p.wake {
+		close(ch)
+	}
+	p.alive.Wait()
+}
+
+// workerLoop parks on the wake channel between phases.
+func (p *Pool) workerLoop(w *Worker, wake chan *job) {
+	defer p.alive.Done()
+	for jb := range wake {
+		if jb.pf != nil {
+			w.runFor(jb)
+		} else {
+			w.runDrain(jb)
+		}
+		jb.wg.Done()
+	}
+}
+
+func (w *Worker) runDrain(jb *job) {
+	if jb.setup != nil {
+		jb.setup(w)
+	}
+	for {
+		a, ok := w.next()
+		if !ok {
+			break
+		}
+		jb.f(w, a)
+	}
+	if jb.teardown != nil {
+		jb.teardown(w)
+	}
+	w.Scratch = nil
+}
+
+func (w *Worker) runFor(jb *job) {
+	for {
+		start := int(jb.next.Add(int64(jb.chunk))) - jb.chunk
+		if start >= jb.n {
+			return
+		}
+		end := start + jb.chunk
+		if end > jb.n {
+			end = jb.n
+		}
+		jb.pf(w.ID, start, end)
 	}
 }
 
 // Drain processes the seed items and everything transitively pushed by
 // f, in parallel across the pool's workers. It returns when all work is
 // exhausted. setup, when non-nil, runs once per worker before processing
-// (to install Scratch state); teardown runs after.
+// (to install Scratch state); teardown runs after. The seed slice is
+// only read during the call.
 func (p *Pool) Drain(seed []mem.Address, setup func(w *Worker), f func(w *Worker, a mem.Address), teardown func(w *Worker)) {
-	sh := &shared{n: p.N}
-	sh.cond = sync.NewCond(&sh.mu)
-	// Pre-split the seed into chunks.
-	for i := 0; i < len(seed); i += chunkSize {
-		end := min(i+chunkSize, len(seed))
-		c := make([]mem.Address, end-i)
-		copy(c, seed[i:end])
-		sh.chunks = append(sh.chunks, c)
+	var segs [][]mem.Address
+	if len(seed) > 0 {
+		segs = [][]mem.Address{seed}
+	}
+	p.DrainSegs(segs, setup, f, teardown)
+}
+
+// DrainSegs is Drain with segment-granular seed injection: each segment
+// is handed to the scheduler as-is (split into steal-granularity views —
+// no flattening copy), so address buffers and shared queues can pass
+// their internal segments straight through.
+func (p *Pool) DrainSegs(segs [][]mem.Address, setup func(w *Worker), f func(w *Worker, a mem.Address), teardown func(w *Worker)) {
+	p.start()
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	p.done.Store(false)
+	p.idle.Store(0)
+	for _, s := range segs {
+		for i := 0; i < len(s); i += chunkSize {
+			end := min(i+chunkSize, len(s))
+			p.inj.push(s[i:end:end])
+		}
 	}
 	var wg sync.WaitGroup
-	for i := 0; i < p.N; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			w := &Worker{ID: id, sh: sh}
-			if setup != nil {
-				setup(w)
-			}
-			for {
-				a, ok := w.pop()
-				if !ok {
-					if !w.steal() {
-						break
-					}
-					continue
-				}
-				f(w, a)
-			}
-			if teardown != nil {
-				teardown(w)
-			}
-		}(i)
+	wg.Add(p.N)
+	jb := &job{setup: setup, f: f, teardown: teardown, wg: &wg}
+	for _, ch := range p.wake {
+		ch <- jb
 	}
 	wg.Wait()
 }
 
 // ParallelFor runs f over [0, n) split into contiguous ranges across the
-// pool's workers. It is used for statically partitionable phases such as
-// buffer processing and block sweeping.
+// pool's workers. Ranges are claimed dynamically from an atomic cursor,
+// so uneven per-index costs (block sweeping) self-balance. It is used
+// for statically partitionable phases such as buffer processing and
+// block sweeping.
 func (p *Pool) ParallelFor(n int, f func(worker, start, end int)) {
-	if n == 0 {
+	if n <= 0 {
 		return
 	}
-	workers := p.N
-	if workers > n {
-		workers = n
+	p.start()
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	chunk := n / (4 * p.N)
+	if chunk < 1 {
+		chunk = 1
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	per := (n + workers - 1) / workers
-	for i := 0; i < workers; i++ {
-		start := i * per
-		end := min(start+per, n)
-		if start >= end {
-			break
-		}
-		wg.Add(1)
-		go func(id, s, e int) {
-			defer wg.Done()
-			f(id, s, e)
-		}(i, start, end)
+	wg.Add(p.N)
+	jb := &job{pf: f, n: n, next: &next, chunk: chunk, wg: &wg}
+	for _, ch := range p.wake {
+		ch <- jb
 	}
 	wg.Wait()
-}
-
-// --- segmented address buffers ----------------------------------------------
-
-// segSize is the segment length of address buffers.
-const segSize = 1024
-
-// AddrBuffer is an append-only buffer of addresses stored in fixed-size
-// segments. Mutators fill private buffers between collections; at a
-// pause the plan takes all segments at once. The zero value is ready to
-// use.
-type AddrBuffer struct {
-	segs [][]mem.Address
-	cur  []mem.Address
-	n    int
-}
-
-// Push appends an address.
-func (b *AddrBuffer) Push(a mem.Address) {
-	if len(b.cur) == cap(b.cur) {
-		if b.cur != nil {
-			b.segs = append(b.segs, b.cur)
-		}
-		b.cur = make([]mem.Address, 0, segSize)
-	}
-	b.cur = append(b.cur, a)
-	b.n++
-}
-
-// Len returns the number of buffered addresses.
-func (b *AddrBuffer) Len() int { return b.n }
-
-// Take removes and returns all buffered addresses as a flat slice.
-func (b *AddrBuffer) Take() []mem.Address {
-	out := make([]mem.Address, 0, b.n)
-	for _, s := range b.segs {
-		out = append(out, s...)
-	}
-	out = append(out, b.cur...)
-	b.segs, b.cur, b.n = nil, nil, 0
-	return out
-}
-
-// TakeInto appends all buffered addresses to dst and clears the buffer.
-func (b *AddrBuffer) TakeInto(dst []mem.Address) []mem.Address {
-	for _, s := range b.segs {
-		dst = append(dst, s...)
-	}
-	dst = append(dst, b.cur...)
-	b.segs, b.cur, b.n = nil, nil, 0
-	return dst
-}
-
-// SharedAddrQueue is a mutex-protected queue of address slices shared
-// between mutator flushes and the concurrent collector thread.
-type SharedAddrQueue struct {
-	mu   sync.Mutex
-	data []mem.Address
-}
-
-// Append adds addresses to the queue.
-func (q *SharedAddrQueue) Append(as []mem.Address) {
-	if len(as) == 0 {
-		return
-	}
-	q.mu.Lock()
-	q.data = append(q.data, as...)
-	q.mu.Unlock()
-}
-
-// Push adds one address.
-func (q *SharedAddrQueue) Push(a mem.Address) {
-	q.mu.Lock()
-	q.data = append(q.data, a)
-	q.mu.Unlock()
-}
-
-// Take removes and returns everything queued.
-func (q *SharedAddrQueue) Take() []mem.Address {
-	q.mu.Lock()
-	d := q.data
-	q.data = nil
-	q.mu.Unlock()
-	return d
-}
-
-// Len returns the queued count.
-func (q *SharedAddrQueue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.data)
 }

@@ -1,8 +1,10 @@
 package gcwork_test
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"lxr/internal/gcwork"
 	"lxr/internal/mem"
@@ -69,6 +71,236 @@ func TestParallelForCoversRange(t *testing.T) {
 		}
 	}
 	p.ParallelFor(0, func(_, s, e int) { t.Error("zero-length ran") })
+}
+
+// TestDrainZeroSeeds: termination must be detected promptly with no
+// work at all (setup/teardown still run on every worker).
+func TestDrainZeroSeeds(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	for round := 0; round < 50; round++ {
+		var setups atomic.Int64
+		p.Drain(nil,
+			func(w *gcwork.Worker) { setups.Add(1) },
+			func(w *gcwork.Worker, a mem.Address) { t.Error("work from nothing") },
+			nil)
+		if setups.Load() != 4 {
+			t.Fatalf("round %d: setups %d", round, setups.Load())
+		}
+	}
+}
+
+// TestPoolWorkersPersistAcrossPhases: one pool must reuse its worker
+// goroutines across many Drain/ParallelFor phases — the per-pause spawn
+// cost the scheduler exists to eliminate. Spawned() counts goroutine
+// creations over the pool's lifetime.
+func TestPoolWorkersPersistAcrossPhases(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	var visits atomic.Int64
+	for phase := 0; phase < 20; phase++ {
+		p.Drain([]mem.Address{8, 8, 8}, nil, func(w *gcwork.Worker, a mem.Address) {
+			visits.Add(1)
+			if a > 1 {
+				w.Push(a - 1)
+			}
+		}, nil)
+		p.ParallelFor(100, func(_, s, e int) {})
+	}
+	if got := visits.Load(); got != 20*3*8 {
+		t.Fatalf("visits %d, want %d", got, 20*3*8)
+	}
+	if sp := p.Spawned(); sp != 4 {
+		t.Fatalf("spawned %d goroutines across 40 phases, want 4 (persistent workers)", sp)
+	}
+}
+
+// TestDrainStressPushStorm exercises the lock-free publish/steal paths
+// under -race: a deep, bushy work graph forces constant publication and
+// stealing while every worker's local stack churns.
+func TestDrainStressPushStorm(t *testing.T) {
+	p := gcwork.NewPool(8)
+	defer p.Stop()
+	for round := 0; round < 4; round++ {
+		var visits atomic.Int64
+		// Work item encoding: depth in low bits; each item of depth d
+		// spawns 2 items of depth d-1. Seeds at depth 12: total visits
+		// per seed = 2^12 - 1.
+		const depth = 12
+		seeds := []mem.Address{depth, depth, depth, depth}
+		p.Drain(seeds, nil, func(w *gcwork.Worker, a mem.Address) {
+			visits.Add(1)
+			if a > 1 {
+				w.Push(a - 1)
+				w.Push(a - 1)
+			}
+		}, nil)
+		want := int64(len(seeds)) * (1<<depth - 1)
+		if got := visits.Load(); got != want {
+			t.Fatalf("round %d: visits %d, want %d", round, got, want)
+		}
+	}
+}
+
+// TestDrainSegsSegmentInjection drains segment-granular seeds (the path
+// AddrBuffer.TakeSegs and the tracer inbox use).
+func TestDrainSegsSegmentInjection(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	var b gcwork.AddrBuffer
+	for i := 1; i <= 5000; i++ {
+		b.Push(mem.Address(i))
+	}
+	var sum atomic.Int64
+	p.DrainSegs(b.TakeSegs(), nil, func(w *gcwork.Worker, a mem.Address) {
+		sum.Add(int64(a))
+	}, nil)
+	if want := int64(5000) * 5001 / 2; sum.Load() != want {
+		t.Fatalf("sum %d, want %d", sum.Load(), want)
+	}
+	if b.Len() != 0 {
+		t.Fatal("TakeSegs did not clear buffer")
+	}
+}
+
+// TestSharedAddrQueueConcurrent hammers the sharded queue from many
+// producers while a consumer drains, verifying nothing is lost.
+func TestSharedAddrQueueConcurrent(t *testing.T) {
+	var q gcwork.SharedAddrQueue
+	const producers = 8
+	const perProducer = 10000
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if i%16 == 0 {
+					q.Append([]mem.Address{mem.Address(pr*perProducer + i)})
+				} else {
+					q.Push(mem.Address(pr*perProducer + i))
+				}
+			}
+		}(pr)
+	}
+	var got int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			for _, s := range q.TakeSegs() {
+				got += int64(len(s))
+			}
+			if got == producers*perProducer {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got != producers*perProducer {
+		t.Fatalf("drained %d, want %d", got, producers*perProducer)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty: %d", q.Len())
+	}
+}
+
+// benchDrainWork is the shared workload for BenchmarkDrain: a transitive
+// closure of ~64k visits from 16 seeds.
+const benchDepth = 11
+
+func benchSeeds() []mem.Address {
+	s := make([]mem.Address, 16)
+	for i := range s {
+		s[i] = benchDepth
+	}
+	return s
+}
+
+// BenchmarkDrain compares the persistent lock-free scheduler ("new")
+// against the seed implementation ("legacy": per-Drain goroutine spawn,
+// one mutex+cond-guarded global chunk stack) on an identical transitive
+// workload.
+func BenchmarkDrain(b *testing.B) {
+	b.Run("new", func(b *testing.B) {
+		p := gcwork.NewPool(4)
+		defer p.Stop()
+		var sink atomic.Int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Drain(benchSeeds(), nil, func(w *gcwork.Worker, a mem.Address) {
+				sink.Add(1)
+				if a > 1 {
+					w.Push(a - 1)
+					w.Push(a - 1)
+				}
+			}, nil)
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		p := &legacyPool{n: 4}
+		var sink atomic.Int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.drain(benchSeeds(), func(w *legacyWorker, a mem.Address) {
+				sink.Add(1)
+				if a > 1 {
+					w.push(a - 1)
+					w.push(a - 1)
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkDrainFanOut isolates work-distribution cost: a large flat
+// seed with a trivial body, so chunk hand-off (seed splitting, publish,
+// steal) dominates. The legacy implementation copies every seed chunk
+// and serialises all hand-offs through one mutex+cond; the new
+// scheduler injects zero-copy seed views and steals lock-free.
+func BenchmarkDrainFanOut(b *testing.B) {
+	seeds := make([]mem.Address, 1<<16)
+	for i := range seeds {
+		seeds[i] = mem.Address(i)
+	}
+	b.Run("new", func(b *testing.B) {
+		p := gcwork.NewPool(4)
+		defer p.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Drain(seeds, nil, func(w *gcwork.Worker, a mem.Address) {}, nil)
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		p := &legacyPool{n: 4}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.drain(seeds, func(w *legacyWorker, a mem.Address) {})
+		}
+	})
+}
+
+// BenchmarkDrainEmpty measures pure per-phase dispatch overhead — the
+// cost a pause pays for every one of its parallel phases even when a
+// phase has little work (dozens of these run inside each STW pause).
+func BenchmarkDrainEmpty(b *testing.B) {
+	b.Run("new", func(b *testing.B) {
+		p := gcwork.NewPool(4)
+		defer p.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Drain(nil, nil, func(w *gcwork.Worker, a mem.Address) {}, nil)
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		p := &legacyPool{n: 4}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.drain(nil, func(w *legacyWorker, a mem.Address) {})
+		}
+	})
 }
 
 func TestAddrBuffer(t *testing.T) {

@@ -2,6 +2,7 @@ package harness_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -74,5 +75,34 @@ func TestTable1Smoke(t *testing.T) {
 func TestNewPlanZGCUnavailableSmallHeap(t *testing.T) {
 	if harness.NewPlan(harness.CZGC, 8<<20, 2) != nil {
 		t.Fatal("ZGC should be unavailable at 8 MB")
+	}
+}
+
+func TestRecordHookAndSummaryJSON(t *testing.T) {
+	spec, _ := workload.ByName("fop")
+	opts := quickOpts(&bytes.Buffer{})
+	var recorded []*harness.RunResult
+	opts.Record = func(r *harness.RunResult) { recorded = append(recorded, r) }
+	r := harness.RunOne(spec, harness.CLXR, 2, 0, opts)
+	if len(recorded) != 1 || recorded[0] != r {
+		t.Fatalf("Record hook saw %d results", len(recorded))
+	}
+	s := r.Summary()
+	if !s.OK || s.Bench != "fop" || s.Collector != harness.CLXR {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.WallMS <= 0 || s.PauseCount == 0 || s.PauseMS["max"] <= 0 {
+		t.Fatalf("summary missing metrics: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteJSON(&buf, []harness.RunSummary{s}); err != nil {
+		t.Fatal(err)
+	}
+	var back []harness.RunSummary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back) != 1 || back[0].Bench != "fop" {
+		t.Fatalf("roundtrip mismatch: %+v", back)
 	}
 }

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// RunSummary is the machine-readable digest of one RunResult, emitted
+// by cmd/lxr-bench -json so the perf trajectory can be tracked across
+// PRs without parsing rendered tables.
+type RunSummary struct {
+	Experiment string `json:"experiment,omitempty"`
+	Bench      string `json:"bench"`
+	Collector  string `json:"collector"`
+	HeapBytes  int    `json:"heap_bytes"`
+	OK         bool   `json:"ok"`
+
+	WallMS float64 `json:"wall_ms"`
+	QPS    float64 `json:"qps,omitempty"`
+
+	// Request latency percentiles in ms (request workloads only).
+	LatencyMS map[string]float64 `json:"latency_ms,omitempty"`
+
+	// GC pause percentiles/max in ms, and pause count.
+	PauseMS    map[string]float64 `json:"pause_ms"`
+	PauseCount int                `json:"pause_count"`
+
+	TotalSTWMS float64 `json:"total_stw_ms"`
+	GCWorkMS   float64 `json:"gc_work_ms"`
+	ConcWorkMS float64 `json:"conc_work_ms"`
+}
+
+// Summary digests a RunResult.
+func (r *RunResult) Summary() RunSummary {
+	s := RunSummary{
+		Bench:     r.Bench,
+		Collector: r.Collector,
+		HeapBytes: r.HeapBytes,
+		OK:        r.OK,
+	}
+	if !r.OK {
+		return s
+	}
+	s.WallMS = float64(r.Wall) / float64(time.Millisecond)
+	s.QPS = r.QPS
+	if len(r.Latencies) > 0 {
+		p50, p90, p99, p999, p9999 := latPercentiles(r.Latencies)
+		s.LatencyMS = map[string]float64{
+			"p50": p50, "p90": p90, "p99": p99, "p99.9": p999, "p99.99": p9999,
+		}
+	}
+	s.PauseCount = len(r.Pauses)
+	s.PauseMS = map[string]float64{
+		"p50":    r.PausePercentile(50),
+		"p95":    r.PausePercentile(95),
+		"p99":    r.PausePercentile(99),
+		"p99.9":  r.PausePercentile(99.9),
+		"p99.99": r.PausePercentile(99.99),
+		"max":    r.PausePercentile(100),
+	}
+	s.TotalSTWMS = float64(r.TotalSTW()) / float64(time.Millisecond)
+	s.GCWorkMS = float64(r.GCWork) / float64(time.Millisecond)
+	s.ConcWorkMS = float64(r.ConcWork) / float64(time.Millisecond)
+	return s
+}
+
+// WriteJSON renders summaries as an indented JSON array.
+func WriteJSON(w io.Writer, sums []RunSummary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sums)
+}

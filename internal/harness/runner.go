@@ -76,6 +76,9 @@ type Options struct {
 	Out       io.Writer
 	// Bench filters experiments to a subset of benchmarks (nil = all).
 	Bench []string
+	// Record, when non-nil, observes every completed RunOne execution
+	// (cmd/lxr-bench -json collects RunSummary digests through it).
+	Record func(*RunResult)
 }
 
 // WithDefaults fills zero fields.
@@ -152,6 +155,9 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	sz := opts.Scale.Size(spec)
 	heap := int(heapFactor * float64(sz.MinHeapBytes))
 	res := &RunResult{Bench: spec.Name, Collector: collector, HeapBytes: heap}
+	if opts.Record != nil {
+		defer func() { opts.Record(res) }()
+	}
 	plan := NewPlan(collector, heap, opts.GCThreads)
 	if plan == nil {
 		return res

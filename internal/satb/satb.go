@@ -131,9 +131,12 @@ func (t *Tracer) visit(ref obj.Ref, push func(mem.Address)) {
 // The marked counter is not updated on this path; callers needing live
 // accounting should count in OnMark.
 func (t *Tracer) DrainParallel(pool *gcwork.Pool) {
-	seed := append(t.inbox.Take(), t.stack...)
+	segs := t.inbox.TakeSegs()
+	if len(t.stack) > 0 {
+		segs = append(segs, t.stack)
+	}
 	t.stack = nil
-	pool.Drain(seed, nil, func(w *gcwork.Worker, a mem.Address) {
+	pool.DrainSegs(segs, nil, func(w *gcwork.Worker, a mem.Address) {
 		t.visitParallel(obj.Ref(a), w)
 	}, nil)
 }
@@ -160,6 +163,24 @@ func (t *Tracer) visitParallel(ref obj.Ref, w *gcwork.Worker) {
 		}
 		w.Push(v)
 	})
+}
+
+// ResolvePending rewrites every queued trace address through resolve.
+// Collectors that move objects at pauses while a trace is in flight
+// (G1's young evacuations during concurrent marking) use it to fix
+// stale mark-stack and inbox entries before the moved-from space can be
+// reused — the forwarding words are still intact during the pause.
+// Must run while the tracer's owner thread is quiescent.
+func (t *Tracer) ResolvePending(resolve func(ref obj.Ref) obj.Ref) {
+	for i, a := range t.stack {
+		t.stack[i] = mem.Address(resolve(obj.Ref(a)))
+	}
+	for _, s := range t.inbox.TakeSegs() {
+		for i, a := range s {
+			s[i] = mem.Address(resolve(obj.Ref(a)))
+		}
+		t.inbox.Append(s)
+	}
 }
 
 // Finish ends the trace epoch. The caller is responsible for clearing

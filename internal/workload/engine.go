@@ -192,14 +192,16 @@ func (c *mutCtx) allocOne() int {
 func (c *mutCtx) maintainList(targetLen int) {
 	m := c.m
 	if m.Roots[rootList].IsNil() {
-		var head obj.Ref
 		for i := 0; i < targetLen; i++ {
 			n := m.Alloc(4, 1, 24)
-			if !head.IsNil() {
-				m.Store(n, 0, head)
+			// Link to the head via its root slot, not a raw local: the
+			// Alloc above is a safepoint, and a collection there may
+			// have moved the head — only the root slot is updated by
+			// the collector (the mutator discipline of lxr.go).
+			if !m.Roots[rootList].IsNil() {
+				m.Store(n, 0, m.Roots[rootList])
 			}
-			head = n
-			m.Roots[rootList] = head
+			m.Roots[rootList] = n
 		}
 		return
 	}
