@@ -4,8 +4,8 @@
 // Usage:
 //
 //	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|all
-//	          [-scale quick|default] [-gcthreads N] [-bench name,name,...]
-//	          [-json file|-]
+//	          [-scale quick|default] [-gcthreads N] [-concworkers N]
+//	          [-bench name,name,...] [-json file|-]
 //
 // -json additionally emits every executed run as a machine-readable
 // JSON array of summaries (pause percentiles, throughput, STW totals)
@@ -29,26 +29,39 @@ func main() {
 		experiment = flag.String("experiment", "table6", "experiment id (table1, table3, table4, table5, table6, table7, figure5, figure7, sensitivity, all)")
 		scale      = flag.String("scale", "default", "workload scaling: quick or default")
 		gcThreads  = flag.Int("gcthreads", 4, "parallel GC threads")
+		concW      = flag.Int("concworkers", 0, "GC workers borrowed by concurrent phases between pauses (0 = half of gcthreads)")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
 		jsonOut    = flag.String("json", "", "write run summaries as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
-	opts := harness.Options{GCThreads: *gcThreads, Out: os.Stdout}
+	known := map[string]bool{}
+	for _, id := range experimentOrder {
+		known[id] = true
+	}
+	if *experiment != "all" && !known[*experiment] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+
+	opts := harness.Options{GCThreads: *gcThreads, ConcWorkers: *concW, Out: os.Stdout}
 	var summaries []harness.RunSummary
 	var jsonFile *os.File
+	jsonTmp := ""
 	curExperiment := ""
 	if *jsonOut != "" {
-		// Open the output file before running anything: a typo'd path
-		// must fail fast, not after hours of experiments.
+		// Probe the output path before running anything — a typo'd path
+		// must fail fast, not after hours of experiments — but write to
+		// a temporary file renamed into place at the end, so an aborted
+		// run never destroys the previous results file.
 		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
+			jsonTmp = *jsonOut + ".tmp"
+			f, err := os.Create(jsonTmp)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "create %s: %v\n", *jsonOut, err)
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", jsonTmp, err)
 				os.Exit(1)
 			}
 			jsonFile = f
-			defer f.Close()
 		}
 		opts.Record = func(r *harness.RunResult) {
 			s := r.Summary()
@@ -100,7 +113,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, id := range []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity"} {
+		for _, id := range experimentOrder {
 			run(id)
 		}
 	} else {
@@ -116,5 +129,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "write json: %v\n", err)
 			os.Exit(1)
 		}
+		if jsonFile != nil {
+			if err := jsonFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "close %s: %v\n", jsonTmp, err)
+				os.Exit(1)
+			}
+			if err := os.Rename(jsonTmp, *jsonOut); err != nil {
+				fmt.Fprintf(os.Stderr, "rename %s: %v\n", jsonTmp, err)
+				os.Exit(1)
+			}
+		}
 	}
 }
+
+// experimentOrder is the canonical experiment list ("-experiment all").
+var experimentOrder = []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity"}

@@ -36,16 +36,17 @@ func main() {
 	m := rt.RegisterMutator(8)
 	defer m.Deregister()
 
-	// Build the deep list.
-	var head lxr.Ref
+	// Build the deep list. The head is reloaded from the root slot
+	// after every allocation safepoint: a pause there may evacuate it,
+	// and only root slots are redirected (see the quickstart NOTE).
+	m.Roots[0] = 0
 	for i := 0; i < *listLen; i++ {
 		n := m.Alloc(1, 1, 16)
 		m.WritePayload(n, 0, uint64(i))
-		if head != 0 {
+		if head := m.Roots[0]; head != 0 {
 			m.Store(n, 0, head)
 		}
-		head = n
-		m.Roots[0] = head
+		m.Roots[0] = n
 	}
 
 	// Churn while the list stays live.

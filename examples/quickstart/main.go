@@ -1,6 +1,8 @@
 // Quickstart: embed the simulated runtime, allocate a small object
 // graph under LXR, mutate it through the barriers, trigger collections,
-// and print GC statistics.
+// and print GC statistics — including how the collector used its
+// parallel workers inside pauses versus on loan to the concurrent
+// phases between pauses.
 package main
 
 import (
@@ -15,6 +17,11 @@ func main() {
 		Collector: lxr.CollectorLXR,
 		HeapBytes: 32 << 20,
 		GCThreads: 2,
+		// Full LXR tuning (ablations, triggers, concurrent
+		// parallelism) is available through LXR. ConcWorkers is how
+		// many GC workers the concurrent phases borrow between pauses
+		// to drain lazy decrements and advance the cycle trace.
+		LXR: &lxr.LXRConfig{ConcWorkers: 2},
 	})
 	defer rt.Shutdown()
 
@@ -69,4 +76,7 @@ func main() {
 	fmt.Printf("objects reclaimed young/old/satb: %d/%d/%d\n",
 		st.Counter("lxr.alloc.objects")-st.Counter("lxr.promoted"),
 		st.Counter("lxr.dead.old"), st.Counter("lxr.dead.satb"))
+	fmt.Printf("concurrent work: %s (of %s total GC work)\n",
+		st.ConcurrentWork().Round(time.Microsecond),
+		st.GCWork().Round(time.Microsecond))
 }

@@ -7,7 +7,6 @@ import (
 
 	"lxr/internal/baselines"
 	"lxr/internal/core"
-	"lxr/internal/obj"
 	"lxr/internal/vm"
 )
 
@@ -128,15 +127,17 @@ func TestCollectorsMultiThreaded(t *testing.T) {
 					}()
 					m := v.RegisterMutator(8)
 					defer m.Deregister()
-					var head obj.Ref
+					// Reload the head from the root slot after each
+					// allocation safepoint: moving plans may evacuate
+					// it there, and only root slots are redirected.
+					m.Roots[0] = 0
 					for i := 299; i >= 0; i-- {
 						n := m.Alloc(1, 1, 16)
 						m.WritePayload(n, 0, uint64(i))
-						if !head.IsNil() {
+						if head := m.Roots[0]; !head.IsNil() {
 							m.Store(n, 0, head)
 						}
-						head = n
-						m.Roots[0] = head
+						m.Roots[0] = n
 					}
 					for i := 0; i < 80000; i++ {
 						g := m.Alloc(1, 1, 48)
@@ -183,21 +184,19 @@ func TestG1RunsMixedCollections(t *testing.T) {
 	m := v.RegisterMutator(8)
 	defer m.Deregister()
 	// Long-lived data to push occupancy over the marking threshold,
-	// then churn so marking and mixed collections happen.
-	var head obj.Ref
+	// then churn so marking and mixed collections happen. The chain
+	// head lives in a root slot (reloaded after every allocation
+	// safepoint — G1 evacuates at young pauses).
 	for i := 0; i < 120000; i++ {
 		n := m.Alloc(1, 1, 64)
-		if !head.IsNil() {
+		if head := m.Roots[0]; !head.IsNil() {
 			m.Store(n, 0, head)
 		}
 		if i%3 != 0 {
-			head = n // two-thirds become garbage over time
+			m.Roots[0] = n // two-thirds become garbage over time
 		}
-		m.Roots[0] = head
 		if i%1000 == 999 {
-			head = 0
 			m.Roots[0] = m.Alloc(1, 1, 64) // drop the chain periodically
-			head = m.Roots[0]
 		}
 	}
 	m.RequestGC()

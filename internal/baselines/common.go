@@ -43,6 +43,11 @@ type base struct {
 	pool *gcwork.Pool
 	vm   *vm.VM
 	name string
+
+	// concWorkers is the between-pause borrow width: how many pool
+	// workers the plan's concurrent phase driver (G1's marking thread,
+	// Shenandoah's cycle controller) lends for each trace advance.
+	concWorkers int
 }
 
 func newBase(name string, heapBytes, gcThreads int) base {
@@ -52,18 +57,52 @@ func newBase(name string, heapBytes, gcThreads int) base {
 	if gcThreads == 0 {
 		gcThreads = 4
 	}
+	conc := gcThreads / 2
+	if conc < 1 {
+		conc = 1
+	}
 	bt := immix.NewBlockTable(immix.Config{HeapBytes: heapBytes})
 	return base{
-		bt:   bt,
-		om:   obj.Model{A: bt.Arena},
-		pool: gcwork.NewPool(gcThreads),
-		name: name,
+		bt:          bt,
+		om:          obj.Model{A: bt.Arena},
+		pool:        gcwork.NewPool(gcThreads),
+		name:        name,
+		concWorkers: conc,
 	}
 }
 
-func (b *base) Name() string                  { return b.name }
-func (b *base) Arena() *mem.Arena             { return b.bt.Arena }
+// Name implements vm.Plan.
+func (b *base) Name() string { return b.name }
+
+// Arena implements vm.Plan.
+func (b *base) Arena() *mem.Arena { return b.bt.Arena }
+
+// BlockTable exposes the heap for tests and the harness.
 func (b *base) BlockTable() *immix.BlockTable { return b.bt }
+
+// SetConcWorkers overrides how many pool workers the plan's concurrent
+// phases borrow between pauses (clamped to [1, gcThreads]). Must be
+// called before Boot.
+func (b *base) SetConcWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > b.pool.N {
+		n = b.pool.N
+	}
+	b.concWorkers = n
+}
+
+// ConcWorkers reports the configured between-pause borrow width.
+func (b *base) ConcWorkers() int { return b.concWorkers }
+
+// GCWorkerStats exposes the pool's per-worker utilization, split into
+// in-pause and on-loan work (harness telemetry).
+func (b *base) GCWorkerStats() []gcwork.WorkerStat { return b.pool.WorkerStats() }
+
+// GCLoanStats returns how many between-pause worker loans ran and how
+// many work items they processed (harness telemetry).
+func (b *base) GCLoanStats() (loans, items int64) { return b.pool.LoanStats() }
 
 // allocLarge is the shared large-object path.
 func (b *base) allocLarge(l obj.Layout) (obj.Ref, bool) {

@@ -554,8 +554,13 @@ func (p *G1) finishMark() {
 
 // --- concurrent mark driver ---------------------------------------------------
 
-// markController is the concurrent marking thread shared by G1 (and
-// reused by Shenandoah with different completion hooks).
+// markController is G1's concurrent marking driver. It is one
+// goroutine, but when the plan's concWorkers is above 1 each trace
+// advance borrows that many parked pool workers (gcwork.Pool.Lend), so
+// the closure drains in parallel between pauses. Pauses interrupt an
+// outstanding loan through quiesce, which also forms the hand-back
+// barrier: collect() never touches the pool or the tracer until the
+// loan is reclaimed and the controller acknowledges quiescence.
 type markController struct {
 	g1 *G1
 
@@ -564,6 +569,16 @@ type markController struct {
 	yield bool
 	quiet bool
 	stopd bool
+
+	// loanRef publishes the outstanding worker loan so quiesce/stop can
+	// interrupt it without racing loan adoption.
+	loanRef gcwork.LoanRef
+
+	// failure holds a panic recovered from a trace advance (typically
+	// a *gcwork.WorkerPanic from a loaned worker), guarded by mu; the
+	// next quiesce re-raises it on the pause path, whose mutator
+	// goroutine is protected by workload.runGuard.
+	failure any
 
 	idle bool // tracer drained; wait for new seeds
 
@@ -584,6 +599,7 @@ func (c *markController) start() { go c.run() }
 func (c *markController) stop() {
 	c.mu.Lock()
 	c.stopd = true
+	c.loanRef.Interrupt()
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	<-c.done
@@ -592,17 +608,24 @@ func (c *markController) stop() {
 func (c *markController) quiesce() {
 	c.mu.Lock()
 	c.yield = true
+	c.loanRef.Interrupt()
 	c.cond.Broadcast()
 	for !c.quiet {
 		c.cond.Wait()
 	}
+	f := c.failure
+	c.failure = nil
 	c.mu.Unlock()
+	if f != nil {
+		panic(f)
+	}
 }
 
 func (c *markController) release() {
 	c.mu.Lock()
 	c.yield = false
 	c.idle = false // pauses may have seeded new trace work
+	c.loanRef.Disarm()
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
@@ -626,9 +649,10 @@ func (c *markController) run() {
 		c.mu.Unlock()
 
 		t0 := time.Now()
-		// Advance the trace; completion is decided at the next pause
-		// (the final-mark), which seeds the last captured values.
-		idle := c.g1.tracer.Step(traceQuantum)
+		idle, ok := c.guardedStep()
+		if !ok {
+			return
+		}
 		c.g1.vm.Stats.AddConcurrentWork(time.Since(t0))
 		if idle {
 			// Nothing to do until a pause seeds more work.
@@ -637,6 +661,35 @@ func (c *markController) run() {
 			c.mu.Unlock()
 		}
 	}
+}
+
+// guardedStep advances the trace with panic containment: a recovered
+// panic (e.g. from a loaned worker, re-raised by Reclaim) is parked in
+// c.failure for the next quiesce to deliver to the pause path, and
+// ok=false terminates the controller goroutine. Completion is decided
+// at the next pause (the final-mark), which seeds the last captured
+// values. With concWorkers > 1 the advance runs on borrowed pool
+// workers and lasts until the closure drains or a pause interrupts the
+// loan.
+func (c *markController) guardedStep() (idle, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.loanRef.Drop()
+			c.mu.Lock()
+			c.failure = r
+			c.quiet = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			idle, ok = false, false
+		}
+	}()
+	if k := c.g1.concWorkers; k > 1 {
+		idle = c.g1.tracer.StepParallel(c.g1.pool, k, c.loanRef.Adopt)
+		c.loanRef.Drop()
+	} else {
+		idle = c.g1.tracer.Step(traceQuantum)
+	}
+	return idle, true
 }
 
 const traceQuantum = 4096

@@ -287,9 +287,21 @@ func (p *Shen) CollectNow(cause string) {
 
 // controller runs collection cycles: it watches heap occupancy and runs
 // mark → evacuate → update-references pipelines, pausing briefly for
-// init-mark, final-mark and final-update.
+// init-mark, final-mark and final-update. A panic escaping a cycle
+// (e.g. a *gcwork.WorkerPanic re-raised by a loan's Reclaim) is
+// contained: the controller stops serving cycles, so stalled mutators
+// fail their allocations and the workload records a Failed data point
+// instead of the process dying.
 func (p *Shen) controller() {
 	defer close(p.done)
+	defer func() {
+		if r := recover(); r != nil {
+			p.stop.Store(true)
+			p.cycleMu.Lock()
+			p.cycleCond.Broadcast() // release waitForCycle waiters
+			p.cycleMu.Unlock()
+		}
+	}()
 	for !p.stop.Load() {
 		if !p.cycleDue() {
 			p.cycleMu.Lock()
@@ -360,13 +372,21 @@ func (p *Shen) runCycle() {
 		})
 	})
 
-	// Concurrent mark.
+	// Concurrent mark. The cycle controller is the tracer's owner
+	// thread and also the only thread that initiates pauses, so loans
+	// taken here can never overlap a pause; no interrupt wiring is
+	// needed (unlike G1, whose pauses originate on mutator threads).
 	for {
 		t0 := time.Now()
 		for _, s := range p.satbIn.TakeSegs() {
 			p.tracer.Seed(refsOf(s))
 		}
-		idle := p.tracer.Step(8192)
+		var idle bool
+		if k := p.concWorkers; k > 1 {
+			idle = p.tracer.StepParallel(p.pool, k, nil)
+		} else {
+			idle = p.tracer.Step(8192)
+		}
 		p.vm.Stats.AddConcurrentWork(time.Since(t0))
 		if idle && p.satbIn.Len() == 0 {
 			break

@@ -9,11 +9,21 @@ import (
 	"lxr/internal/obj"
 )
 
-// concurrent is LXR's single concurrent collector thread (Fig. 2). It
+// concurrent is LXR's concurrent collection driver (Fig. 2). It
 // processes lazy decrements with priority, then sweeps blocks touched by
 // decrements and releases quarantined evacuation sources, then advances
 // the SATB trace. It quiesces at every stop-the-world pause so pause
 // phases own all shared collector state.
+//
+// The driver itself is one goroutine, but its work quanta are parallel:
+// when Config.ConcWorkers > 1 it borrows that many idle gcwork workers
+// (Pool.Lend) for each decrement drain and trace advance, and hands
+// them back (Loan.Reclaim) before parking. A pause that arrives while a
+// loan is outstanding interrupts it via quiesce: the borrowed workers
+// stop within one work item, the unprocessed remainder flows back into
+// pendingDecs or the tracer inbox, and the quiescence handshake — plus
+// the pool's own dispatch lock — guarantees the pause never overlaps a
+// loan.
 type concurrent struct {
 	p *LXR
 
@@ -23,6 +33,20 @@ type concurrent struct {
 	quiet bool // the thread acknowledges quiescence
 	stopd bool
 	wake  bool // work was submitted
+
+	// loanRef publishes the outstanding worker loan so quiesce and stop
+	// can interrupt it (and so an interrupt that races loan adoption is
+	// not lost).
+	loanRef gcwork.LoanRef
+
+	// failure holds a panic recovered from a work quantum (typically a
+	// *gcwork.WorkerPanic from a loaned worker), guarded by mu. It is
+	// re-raised by the next quiesce — which runs on the pause path, a
+	// mutator goroutine protected by workload.runGuard — so loan-path
+	// panics become Failed data points exactly like in-pause ones. The
+	// driver goroutine exits after recording a failure; the collector
+	// degrades to in-pause decrement/trace processing.
+	failure any
 
 	// Mutator-overflow inboxes (also drained at pauses).
 	decs gcwork.SharedAddrQueue
@@ -46,8 +70,8 @@ type concurrent struct {
 }
 
 const (
-	decChunk   = 4096 // decrements per scheduling quantum
-	traceChunk = 2048 // trace items per scheduling quantum
+	decChunk   = 4096 // decrements per single-threaded scheduling quantum
+	traceChunk = 2048 // trace items per single-threaded scheduling quantum
 )
 
 func newConcurrent(p *LXR) *concurrent {
@@ -61,21 +85,32 @@ func (c *concurrent) start() { go c.run() }
 func (c *concurrent) stop() {
 	c.mu.Lock()
 	c.stopd = true
+	c.loanRef.Interrupt()
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	<-c.done
 }
 
 // quiesce blocks until the thread is parked between work quanta. Called
-// with the world stopped, before pause phases touch collector state.
+// with the world stopped, before pause phases touch collector state. An
+// outstanding worker loan is interrupted so the handshake completes
+// within one work item per borrowed worker. A panic the driver
+// recovered since the last pause is re-raised here, on the pause's
+// (guarded) goroutine.
 func (c *concurrent) quiesce() {
 	c.mu.Lock()
 	c.yield = true
+	c.loanRef.Interrupt()
 	c.cond.Broadcast()
 	for !c.quiet {
 		c.cond.Wait()
 	}
+	f := c.failure
+	c.failure = nil
 	c.mu.Unlock()
+	if f != nil {
+		panic(f)
+	}
 }
 
 // release lets the thread resume after a pause.
@@ -83,6 +118,7 @@ func (c *concurrent) release() {
 	c.mu.Lock()
 	c.yield = false
 	c.wake = true
+	c.loanRef.Disarm()
 	c.cond.Broadcast()
 	c.mu.Unlock()
 }
@@ -158,9 +194,31 @@ func (c *concurrent) run() {
 		c.mu.Unlock()
 
 		t0 := time.Now()
-		c.quantum()
+		if !c.guardedQuantum() {
+			return
+		}
 		c.p.vm.Stats.AddConcurrentWork(time.Since(t0))
 	}
+}
+
+// guardedQuantum runs one quantum with panic containment: a recovered
+// panic is parked in c.failure for the next quiesce to re-raise on the
+// pause path, the driver acknowledges permanent quiescence, and false
+// is returned to terminate the driver goroutine.
+func (c *concurrent) guardedQuantum() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.loanRef.Drop()
+			c.mu.Lock()
+			c.failure = r
+			c.quiet = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			ok = false
+		}
+	}()
+	c.quantum()
+	return true
 }
 
 func (c *concurrent) hasWorkLocked() bool {
@@ -172,24 +230,17 @@ func (c *concurrent) hasWorkLocked() bool {
 
 // quantum performs one bounded slice of concurrent work, highest
 // priority first: decrements, then deferred sweeping, then the trace.
+// With ConcWorkers > 1 the decrement and trace slices run on borrowed
+// pool workers; a slice then lasts until the work is exhausted or a
+// pause interrupts the loan, whichever comes first.
 func (c *concurrent) quantum() {
 	p := c.p
 	switch {
 	case len(c.recStack) > 0 || len(c.pendingDecs) > 0:
-		for i := 0; i < decChunk; i++ {
-			var ref obj.Ref
-			if n := len(c.recStack); n > 0 {
-				ref = obj.Ref(c.recStack[n-1])
-				c.recStack = c.recStack[:n-1]
-			} else if n := len(c.pendingDecs); n > 0 {
-				ref = obj.Ref(c.pendingDecs[n-1])
-				c.pendingDecs = c.pendingDecs[:n-1]
-			} else {
-				break
-			}
-			p.applyDec(ref,
-				func(child obj.Ref) { c.recStack = append(c.recStack, child) },
-				func(b int) { c.touched[b] = struct{}{} })
+		if k := p.cfg.ConcWorkers; k > 1 {
+			c.drainDecsParallel(k)
+		} else {
+			c.drainDecsInline()
 		}
 	case len(c.touched) > 0:
 		// Decrements drained: queue the touched blocks for release at
@@ -202,7 +253,77 @@ func (c *concurrent) quantum() {
 		}
 	default:
 		if p.satbActive.Load() {
-			p.tracer.Step(traceChunk)
+			if k := p.cfg.ConcWorkers; k > 1 {
+				p.tracer.StepParallel(p.pool, k, c.loanRef.Adopt)
+				c.loanRef.Drop()
+			} else {
+				p.tracer.Step(traceChunk)
+			}
+		}
+	}
+}
+
+// drainDecsInline is the classic single-threaded decrement slice: up to
+// decChunk decrements applied on the driver goroutine itself.
+func (c *concurrent) drainDecsInline() {
+	p := c.p
+	for i := 0; i < decChunk; i++ {
+		var ref obj.Ref
+		if n := len(c.recStack); n > 0 {
+			ref = obj.Ref(c.recStack[n-1])
+			c.recStack = c.recStack[:n-1]
+		} else if n := len(c.pendingDecs); n > 0 {
+			ref = obj.Ref(c.pendingDecs[n-1])
+			c.pendingDecs = c.pendingDecs[:n-1]
+		} else {
+			break
+		}
+		p.applyDec(0, ref,
+			func(child obj.Ref) { c.recStack = append(c.recStack, child) },
+			func(b int) { c.touched[b] = struct{}{} })
+	}
+}
+
+// drainDecsParallel drains the whole pending decrement batch — and its
+// recursive closure — on k borrowed pool workers. Each worker records
+// touched blocks in its own slot of a per-worker array (worker IDs are
+// stable), merged lock-free after the loan is reclaimed. If a pause
+// interrupts the loan, the unprocessed remainder returns to
+// pendingDecs, exactly as if the slice had been smaller.
+func (c *concurrent) drainDecsParallel(k int) {
+	p := c.p
+	var segs [][]mem.Address
+	if len(c.pendingDecs) > 0 {
+		segs = append(segs, c.pendingDecs)
+		c.pendingDecs = nil
+	}
+	if len(c.recStack) > 0 {
+		segs = append(segs, c.recStack)
+		c.recStack = nil
+	}
+	perWorker := make([]map[int]struct{}, p.pool.N)
+	loan := p.pool.Lend(k, segs,
+		func(w *gcwork.Worker) {
+			m := map[int]struct{}{}
+			perWorker[w.ID] = m
+			w.Scratch = m
+		},
+		func(w *gcwork.Worker, a mem.Address) {
+			local := w.Scratch.(map[int]struct{})
+			p.applyDec(w.ID+1, obj.Ref(a),
+				func(child obj.Ref) { w.Push(child) },
+				func(b int) { local[b] = struct{}{} })
+		},
+		nil)
+	c.loanRef.Adopt(loan)
+	rem := loan.Reclaim()
+	c.loanRef.Drop()
+	for _, s := range rem {
+		c.pendingDecs = append(c.pendingDecs, s...)
+	}
+	for _, m := range perWorker {
+		for b := range m {
+			c.touched[b] = struct{}{}
 		}
 	}
 }

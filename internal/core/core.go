@@ -34,6 +34,12 @@ type Config struct {
 	HeapBytes int
 	// GCThreads sizes the parallel STW worker pool.
 	GCThreads int
+	// ConcWorkers is how many of the pool's workers the concurrent
+	// phases borrow between pauses (gcwork.Pool.Lend) to drain lazy
+	// decrements and advance the SATB trace in parallel. 1 selects the
+	// classic single-threaded concurrent quantum loop. Default: half
+	// of GCThreads, minimum 1; clamped to GCThreads.
+	ConcWorkers int
 	// SurvivalThresholdBytes is the RC trigger's expected-survivor
 	// bound per epoch (the paper uses 128 MB on multi-GB heaps; default
 	// here scales with the heap: HeapBytes/8, capped at 128 MB).
@@ -95,6 +101,15 @@ func (c *Config) setDefaults() {
 	}
 	if c.GCThreads == 0 {
 		c.GCThreads = 4
+	}
+	if c.ConcWorkers == 0 {
+		c.ConcWorkers = c.GCThreads / 2
+	}
+	if c.ConcWorkers < 1 {
+		c.ConcWorkers = 1
+	}
+	if c.ConcWorkers > c.GCThreads {
+		c.ConcWorkers = c.GCThreads
 	}
 	if c.SurvivalThresholdBytes == 0 {
 		c.SurvivalThresholdBytes = int64(c.HeapBytes) / 8
@@ -164,6 +179,13 @@ type LXR struct {
 	rootDecs []obj.Ref                          // deferred root decrements for next epoch
 
 	conc *concurrent
+
+	// Pre-resolved handles for the per-object-hot stats counters, so
+	// decrement and promotion paths skip the counter-name lookup.
+	// Initialised in Boot.
+	ctr struct {
+		decrements, deadOld, skip, promoted, evacYoung, stuck vm.CounterHandle
+	}
 
 	// Per-pause scratch (valid only during a pause).
 	rootSlots []*obj.Ref
@@ -261,6 +283,12 @@ func (p *LXR) Arena() *mem.Arena { return p.bt.Arena }
 // Boot implements vm.Plan.
 func (p *LXR) Boot(v *vm.VM) {
 	p.vm = v
+	p.ctr.decrements = v.Stats.Handle(CtrDecrements)
+	p.ctr.deadOld = v.Stats.Handle(CtrDeadOld)
+	p.ctr.skip = v.Stats.Handle(CtrDefensiveSkip)
+	p.ctr.promoted = v.Stats.Handle(CtrPromoted)
+	p.ctr.evacYoung = v.Stats.Handle(CtrYoungEvacBytes)
+	p.ctr.stuck = v.Stats.Handle(CtrStuck)
 	p.conc.start()
 }
 
@@ -278,6 +306,17 @@ func (p *LXR) BlockTable() *immix.BlockTable { return p.bt }
 
 // RC exposes the reference-count table for tests.
 func (p *LXR) RC() *meta.RCTable { return p.rc }
+
+// GCWorkerStats exposes the pool's per-worker utilization, split into
+// in-pause and on-loan work (harness telemetry).
+func (p *LXR) GCWorkerStats() []gcwork.WorkerStat { return p.pool.WorkerStats() }
+
+// GCLoanStats returns how many between-pause worker loans ran and how
+// many work items they processed (harness telemetry).
+func (p *LXR) GCLoanStats() (loans, items int64) { return p.pool.LoanStats() }
+
+// ConcWorkers reports the configured between-pause borrow width.
+func (p *LXR) ConcWorkers() int { return p.cfg.ConcWorkers }
 
 // recomputeAllocLimit derives the allocation volume at which the
 // survival-rate trigger fires: the predictor turns "bound expected

@@ -25,17 +25,20 @@ func newVM(t *testing.T, cfg core.Config) *vm.VM {
 // buildList creates a singly linked list of n nodes; node payload word 0
 // holds its position. Returns the head. Uses root slot 0 as scratch.
 func buildList(m *vm.Mutator, n int) obj.Ref {
-	var head obj.Ref
+	m.Roots[0] = 0
 	for i := n - 1; i >= 0; i-- {
-		node := m.Alloc(1, 1, 8)
+		node := m.Alloc(1, 1, 8) // safepoint: may evacuate the current head
 		m.WritePayload(node, 0, uint64(i))
-		if !head.IsNil() {
+		// Mutator discipline: reload the head from the root slot after
+		// the allocation safepoint — a pause there may have moved it,
+		// and only root slots are redirected. A raw local held across
+		// the Alloc would store the stale pre-evacuation address.
+		if head := m.Roots[0]; !head.IsNil() {
 			m.Store(node, 0, head)
 		}
-		head = node
-		m.Roots[0] = head // keep reachable across safepoints
+		m.Roots[0] = node
 	}
-	return head
+	return m.Roots[0]
 }
 
 // checkList verifies a list built by buildList.
@@ -241,7 +244,8 @@ func TestMultiMutatorChurn(t *testing.T) {
 					done <- errTruncated
 					return
 				}
-				if m.ReadPayload(cur, 0) != uint64(i) {
+				if got := m.ReadPayload(cur, 0); got != uint64(i) {
+					t.Logf("node %d payload=%d: %s", i, got, core.DiagnoseRefForTest(v.Plan, cur, v.Stats))
 					done <- errCorrupt
 					return
 				}

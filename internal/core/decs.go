@@ -11,9 +11,10 @@ import (
 // SATB interruption invariant (never delete an unmarked object while a
 // trace is underway — mark and scan it first, §3.2.2), pushes recursive
 // decrements for its referents, and reclaims its memory.
+// shard is the caller's stats shard (worker ID + 1, or 0 off-worker);
 // pushRec receives child references; record receives the touched block.
-func (p *LXR) decDeath(ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
-	p.vm.Stats.Add(CtrDeadOld, 1)
+func (p *LXR) decDeath(shard int, ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
+	p.ctr.deadOld.AddAt(shard, 1)
 	if p.satbActive.Load() && !p.marks.Get(ref) {
 		p.marks.Set(ref)
 		// Scan into the SATB trace before the memory can be reclaimed;
@@ -40,20 +41,23 @@ func (p *LXR) decDeath(ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
 }
 
 // applyDec applies one decrement (following forwarding installed by
-// evacuation) and performs death processing on a 1→0 transition.
-func (p *LXR) applyDec(ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
+// evacuation) and performs death processing on a 1→0 transition. shard
+// selects the caller's stats shard: pause workers and loaned workers
+// pass their worker ID + 1 so per-decrement counter updates never
+// contend across threads; single-threaded callers pass 0.
+func (p *LXR) applyDec(shard int, ref obj.Ref, pushRec func(obj.Ref), record func(int)) {
 	if !p.plausibleRef(ref) {
-		p.vm.Stats.Add(CtrDefensiveSkip, 1)
+		p.ctr.skip.AddAt(shard, 1)
 		return
 	}
 	ref = p.om.Resolve(ref)
 	if !p.saneRef(ref) {
-		p.vm.Stats.Add(CtrDefensiveSkip, 1)
+		p.ctr.skip.AddAt(shard, 1)
 		return
 	}
-	p.vm.Stats.Add(CtrDecrements, 1)
+	p.ctr.decrements.AddAt(shard, 1)
 	if old := p.rc.Dec(ref); old == 1 {
-		p.decDeath(ref, pushRec, record)
+		p.decDeath(shard, ref, pushRec, record)
 	}
 }
 
@@ -75,7 +79,7 @@ func (p *LXR) processDecsInPause(decs []mem.Address) {
 		},
 		func(w *gcwork.Worker, a mem.Address) {
 			local := w.Scratch.(map[int]struct{})
-			p.applyDec(obj.Ref(a),
+			p.applyDec(w.ID+1, obj.Ref(a),
 				func(c obj.Ref) { w.Push(c) },
 				func(b int) { local[b] = struct{}{} })
 		},

@@ -126,6 +126,23 @@ func (p *LXR) pausePipeline(cause string) {
 	}
 	p.drainIncrements(modSegs)
 
+	// 4b. The SATB inbox may hold snapshot edges captured before this
+	// pause's young evacuations (decSeeds seeded in step 3, plus
+	// barrier captures from earlier epochs). Rewrite them through the
+	// still-intact forwarding words before the moved-from blocks can be
+	// released and reused: an unresolved entry would be filtered as
+	// dead (the old address reads RC 0) and silently cut the snapshot
+	// closure — the same hazard G1 fixes with ResolvePending after its
+	// evacuation pauses.
+	if p.satbActive.Load() {
+		p.tracer.ResolvePending(func(r obj.Ref) obj.Ref {
+			if !p.plausibleRef(r) {
+				return r
+			}
+			return p.om.Resolve(r)
+		})
+	}
+
 	// 5. Deferred root decrements: last epoch's root referents receive
 	// decrements now; this epoch's roots are buffered for the next.
 	// decSeeds may be aliased by the tracer inbox (Seed is zero-copy),
@@ -137,6 +154,21 @@ func (p *LXR) pausePipeline(cause string) {
 	for _, s := range p.rootSlots {
 		if !(*s).IsNil() {
 			p.rootDecs = append(p.rootDecs, *s)
+		}
+	}
+
+	// 5a. Resolve the batch through forwarding NOW, while the pointers
+	// installed by this pause's young evacuations are still intact. The
+	// sweep below releases the evacuated-from young blocks, and a
+	// mutator may recycle and zero them before the concurrent thread
+	// gets to these decrements — a stale address would then resolve
+	// through clobbered memory and decrement whatever young object was
+	// allocated over it (mature evacuation quarantines its source
+	// blocks against exactly this; young evacuation relies on this
+	// pre-release resolution instead).
+	for i, a := range decs {
+		if r := obj.Ref(a); p.plausibleRef(r) {
+			decs[i] = mem.Address(p.om.Resolve(r))
 		}
 	}
 
@@ -187,8 +219,20 @@ func (p *LXR) pausePipeline(cause string) {
 		p.conc.submitDecs(decs)
 	}
 	p.verifyHeap("end")
+	if testPauseHook != nil {
+		testPauseHook(p)
+	}
 	p.epoch.Add(1)
 }
+
+// testPauseHook, when non-nil, runs at the end of every pause with the
+// world still stopped (test instrumentation only).
+var testPauseHook func(*LXR)
+
+// testDoubleAllocHook, when non-nil, fires when a survivor copy lands
+// on a granule that already carries a reference count — a span handed
+// out twice (test instrumentation only).
+var testDoubleAllocHook func(p *LXR, src, dst obj.Ref, oldRC uint32, al *immix.Allocator)
 
 // collectRootSlots gathers pointers to every root slot (mutator shadow
 // stacks and globals) so increment processing can redirect them when the
@@ -236,7 +280,7 @@ func (p *LXR) drainIncrements(segs [][]mem.Address) {
 			if item&rootTag != 0 {
 				slot := p.rootSlots[int(item&^rootTag)]
 				if v := *slot; !v.IsNil() && !p.saneRef(v) {
-					p.vm.Stats.Add(CtrDefensiveSkip, 1)
+					p.ctr.skip.AddAt(w.ID+1, 1)
 					return
 				}
 				p.applyInc(w, func() obj.Ref { return *slot }, func(v obj.Ref) { *slot = v })
@@ -277,14 +321,14 @@ func (p *LXR) applyInc(w *gcwork.Worker, get func() obj.Ref, set func(obj.Ref)) 
 		case obj.FwdForwarded:
 			nv := obj.Ref(fw >> 2)
 			set(nv)
-			p.incEstablished(nv)
+			p.incEstablished(w, nv)
 			return
 		case obj.FwdBusy:
 			continue // another worker is copying; spin until published
 		}
 		if p.rc.Get(val) == 0 {
 			if !p.saneRef(val) {
-				p.vm.Stats.Add(CtrDefensiveSkip, 1)
+				p.ctr.skip.AddAt(w.ID+1, 1)
 				return
 			}
 			// Young object receiving its 0→1 increment (§3.3.2): it is
@@ -302,7 +346,9 @@ func (p *LXR) applyInc(w *gcwork.Worker, get func() obj.Ref, set func(obj.Ref)) 
 				sa := w.Scratch.(*immix.Allocator)
 				if dst, ok := sa.Alloc(size); ok {
 					p.om.CopyTo(val, dst)
-					p.rc.Inc(dst)
+					if old := p.rc.Inc(dst); old != 0 && testDoubleAllocHook != nil {
+						testDoubleAllocHook(p, val, dst, old, sa)
+					}
 					p.finishPromotion(w, dst, true)
 					p.om.InstallForwarding(val, dst)
 					set(dst)
@@ -318,22 +364,22 @@ func (p *LXR) applyInc(w *gcwork.Worker, get func() obj.Ref, set func(obj.Ref)) 
 			if old := p.rc.Inc(val); old == 0 {
 				p.finishPromotion(w, val, false)
 			} else {
-				p.noteStuck(old)
+				p.noteStuck(w, old)
 			}
 			return
 		}
-		p.noteStuck(p.rc.Inc(val))
+		p.noteStuck(w, p.rc.Inc(val))
 		return
 	}
 }
 
-func (p *LXR) incEstablished(val obj.Ref) {
-	p.noteStuck(p.rc.Inc(val))
+func (p *LXR) incEstablished(w *gcwork.Worker, val obj.Ref) {
+	p.noteStuck(w, p.rc.Inc(val))
 }
 
-func (p *LXR) noteStuck(old uint32) {
+func (p *LXR) noteStuck(w *gcwork.Worker, old uint32) {
 	if old == 2 { // 2→3 transition pins the count
-		p.vm.Stats.Add(CtrStuck, 1)
+		p.ctr.stuck.AddAt(w.ID+1, 1)
 	}
 }
 
@@ -357,10 +403,10 @@ func (p *LXR) finishPromotion(w *gcwork.Worker, ref obj.Ref, copied bool) {
 	size := p.om.Size(ref)
 	p.survived.Add(int64(size))
 	p.promoted.Add(1)
-	p.vm.Stats.Add(CtrPromoted, 1)
+	p.ctr.promoted.AddAt(w.ID+1, 1)
 	if copied {
 		p.copiedY.Add(int64(size))
-		p.vm.Stats.Add(CtrYoungEvacBytes, int64(size))
+		p.ctr.evacYoung.AddAt(w.ID+1, int64(size))
 	}
 	p.markStraddleLines(ref, size)
 	satb := p.satbActive.Load()
@@ -373,7 +419,7 @@ func (p *LXR) finishPromotion(w *gcwork.Worker, ref obj.Ref, copied bool) {
 		p.logs.SetUnlogged(slot)
 		if child := p.om.A.LoadRef(slot); !child.IsNil() {
 			if !p.plausibleRef(child) {
-				p.vm.Stats.Add(CtrDefensiveSkip, 1)
+				p.ctr.skip.AddAt(w.ID+1, 1)
 				continue
 			}
 			// The tracer will never scan this object (promotion marked

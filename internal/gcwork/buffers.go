@@ -129,6 +129,40 @@ func (q *SharedAddrQueue) Take() []mem.Address {
 	return out
 }
 
+// PopSeg removes and returns one queued segment (nil when the queue is
+// empty). Consumers that process work in bounded steps — the SATB
+// tracer's owner-thread Step — use it to pull one segment at a time
+// instead of flattening the whole queue with Take.
+func (q *SharedAddrQueue) PopSeg() []mem.Address {
+	if q.n.Load() == 0 {
+		return nil
+	}
+	// Rotate the starting shard so a lone consumer does not drain (and
+	// lock) shard 0 preferentially while producers keep filling it.
+	start := q.rr.Add(1)
+	for i := 0; i < qShards; i++ {
+		sh := &q.shards[(start+uint32(i))%qShards]
+		sh.mu.Lock()
+		if n := len(sh.segs); n > 0 {
+			s := sh.segs[n-1]
+			sh.segs[n-1] = nil
+			sh.segs = sh.segs[:n-1]
+			sh.mu.Unlock()
+			q.n.Add(-int64(len(s)))
+			return s
+		}
+		if len(sh.cur) > 0 {
+			s := sh.cur
+			sh.cur = nil
+			sh.mu.Unlock()
+			q.n.Add(-int64(len(s)))
+			return s
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
 // TakeSegs removes and returns everything queued, segment-granular.
 func (q *SharedAddrQueue) TakeSegs() [][]mem.Address {
 	var out [][]mem.Address

@@ -1,0 +1,72 @@
+package gcwork_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/mem"
+)
+
+// Chain drains (pause stand-in) interleaved with interrupted loans
+// (concurrent driver stand-in): every item of both streams must be
+// processed exactly once by its own job's function.
+func TestInterleavedLoanChainConservation(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var loanProcessed atomic.Int64
+	var loanFed atomic.Int64
+	go func() { // driver: interrupted loans over flat batches
+		defer wg.Done()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seeds := make([]mem.Address, 3000)
+			for i := range seeds {
+				seeds[i] = mem.Address(0x1000000 + i)
+			}
+			loanFed.Add(int64(len(seeds)))
+			loan := p.Lend(2, [][]mem.Address{seeds}, nil, func(w *gcwork.Worker, a mem.Address) {
+				if a < 0x1000000 {
+					t.Error("loan job got a phase item")
+				}
+				loanProcessed.Add(1)
+			}, nil)
+			if round%2 == 0 {
+				loan.Interrupt()
+			}
+			for _, s := range loan.Reclaim() {
+				loanFed.Add(-int64(len(s))) // returned unprocessed
+			}
+		}
+	}()
+	for round := 0; round < 400; round++ {
+		var visits atomic.Int64
+		const chain = 5000
+		p.Drain([]mem.Address{chain}, nil, func(w *gcwork.Worker, a mem.Address) {
+			if a > 0x100000 {
+				t.Error("phase job got a loan item")
+				return
+			}
+			visits.Add(1)
+			if a > 1 {
+				w.Push(a - 1)
+			}
+		}, nil)
+		if got := visits.Load(); got != chain {
+			t.Fatalf("round %d: chain visits %d, want %d (dropped %d)", round, got, chain, chain-got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if loanProcessed.Load() != loanFed.Load() {
+		t.Fatalf("loan conservation: processed %d, fed-minus-returned %d", loanProcessed.Load(), loanFed.Load())
+	}
+}

@@ -1,0 +1,363 @@
+package gcwork_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/mem"
+)
+
+// TestLendDrainsTransitiveWork: a loan must drain the seeds and
+// everything transitively pushed, exactly like Drain, and Reclaim must
+// return no remainder when the loan ran to completion.
+func TestLendDrainsTransitiveWork(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	var visits atomic.Int64
+	seeds := []mem.Address{6, 6, 6}
+	loan := p.Lend(2, [][]mem.Address{seeds}, nil, func(w *gcwork.Worker, a mem.Address) {
+		visits.Add(1)
+		if a > 1 {
+			w.Push(a - 1)
+		}
+	}, nil)
+	rem := loan.Reclaim()
+	if len(rem) != 0 {
+		t.Fatalf("uninterrupted loan returned remainder %v", rem)
+	}
+	if got := visits.Load(); got != 18 {
+		t.Fatalf("visits %d, want 18", got)
+	}
+	loans, items := p.LoanStats()
+	if loans != 1 || items != 18 {
+		t.Fatalf("LoanStats = (%d, %d), want (1, 18)", loans, items)
+	}
+}
+
+// TestLendRunsOnMultipleWorkers proves — with a rendezvous, not wall
+// time — that a loan's work runs on at least two borrowed workers
+// concurrently: two seed segments each block until a different worker
+// has arrived at the other one. With fewer than two live workers the
+// rendezvous could never complete.
+func TestLendRunsOnMultipleWorkers(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(1)
+	}
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+
+	arrived := make(chan int, 2)
+	release := make(chan struct{})
+	var ids sync.Map
+	// Two single-item segments: the injector hands each to a different
+	// waking worker (a worker blocks inside f, so it cannot take both).
+	segs := [][]mem.Address{{1}, {2}}
+	loan := p.Lend(2, segs, nil, func(w *gcwork.Worker, a mem.Address) {
+		ids.Store(w.ID, true)
+		arrived <- w.ID
+		<-release
+	}, nil)
+
+	timeout := time.After(10 * time.Second)
+	seen := map[int]bool{}
+	for len(seen) < 2 {
+		select {
+		case id := <-arrived:
+			seen[id] = true
+		case <-timeout:
+			t.Fatalf("rendezvous: only %d distinct workers arrived, want 2", len(seen))
+		}
+	}
+	close(release)
+	loan.Reclaim()
+	if len(seen) < 2 {
+		t.Fatalf("loan ran on %d workers, want >= 2", len(seen))
+	}
+}
+
+// TestLendInterruptPreservesWork: an interrupted loan must stop
+// promptly and hand every unprocessed address back through Reclaim —
+// processed + remainder must account for every seed exactly once.
+func TestLendInterruptPreservesWork(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	const n = 200000
+	seeds := make([]mem.Address, n)
+	for i := range seeds {
+		seeds[i] = mem.Address(i + 1)
+	}
+	var processed atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	loan := p.Lend(2, [][]mem.Address{seeds}, nil, func(w *gcwork.Worker, a mem.Address) {
+		once.Do(func() { close(started) })
+		processed.Add(1)
+	}, nil)
+	<-started
+	loan.Interrupt()
+	rem := loan.Reclaim()
+	var left int64
+	for _, s := range rem {
+		left += int64(len(s))
+	}
+	if got := processed.Load() + left; got != n {
+		t.Fatalf("processed %d + remainder %d = %d, want %d", processed.Load(), left, got, n)
+	}
+	if left == 0 {
+		t.Log("interrupt raced completion (all work processed) — accounting still exact")
+	}
+	// The pool must be fully reusable afterwards, with no leaked work.
+	var visits atomic.Int64
+	p.Drain([]mem.Address{1, 2, 3}, nil, func(w *gcwork.Worker, a mem.Address) { visits.Add(1) }, nil)
+	if visits.Load() != 3 {
+		t.Fatalf("post-interrupt Drain visited %d items, want 3 (leaked loan work?)", visits.Load())
+	}
+}
+
+// TestLendPhaseBarrier is the loan/pause exclusion stress test: one
+// goroutine runs Lend/Interrupt/Reclaim cycles while another runs Drain
+// phases (a pause stand-in). Both bodies assert the other side is never
+// concurrently active — the guarantee the loan barrier provides — and
+// -race checks the underlying synchronisation.
+func TestLendPhaseBarrier(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	var loanBusy, phaseBusy atomic.Int32
+	var errs atomic.Int64
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Concurrent driver: loans workers, sometimes interrupted mid-way.
+	go func() {
+		defer wg.Done()
+		seeds := make([]mem.Address, 4096)
+		for i := range seeds {
+			seeds[i] = mem.Address(i + 1)
+		}
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			loan := p.Lend(2, [][]mem.Address{seeds}, nil, func(w *gcwork.Worker, a mem.Address) {
+				loanBusy.Add(1)
+				if phaseBusy.Load() != 0 {
+					errs.Add(1)
+				}
+				loanBusy.Add(-1)
+			}, nil)
+			if round%3 == 0 {
+				loan.Interrupt()
+			}
+			loan.Reclaim()
+		}
+	}()
+	// Pause stand-in: dispatches phases that must never overlap a loan.
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Drain([]mem.Address{1, 2, 3, 4, 5, 6, 7, 8}, nil, func(w *gcwork.Worker, a mem.Address) {
+				phaseBusy.Add(1)
+				if loanBusy.Load() != 0 {
+					errs.Add(1)
+				}
+				phaseBusy.Add(-1)
+			}, nil)
+		}
+	}()
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if e := errs.Load(); e != 0 {
+		t.Fatalf("loan and pause phase observed each other active %d times", e)
+	}
+}
+
+// TestWorkerPanicRoutedToDrainCaller: a panic in a drain body must not
+// kill the process — it must surface, wrapped in *WorkerPanic, on the
+// goroutine that dispatched the phase, and the pool must stay usable.
+func TestWorkerPanicRoutedToDrainCaller(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	seeds := make([]mem.Address, 1000)
+	for i := range seeds {
+		seeds[i] = mem.Address(i + 1)
+	}
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.Drain(seeds, nil, func(w *gcwork.Worker, a mem.Address) {
+			if a == 500 {
+				panic("boom at 500")
+			}
+			if a > 0 && a < 100 {
+				w.Push(a + 10000) // keep transitive work flowing
+			}
+		}, nil)
+	}()
+	wp, ok := recovered.(*gcwork.WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T %v, want *gcwork.WorkerPanic", recovered, recovered)
+	}
+	if wp.Value != "boom at 500" {
+		t.Fatalf("panic value %v, want original", wp.Value)
+	}
+	if len(wp.Stack) == 0 {
+		t.Fatal("worker stack not captured")
+	}
+	// Abandoned work from the aborted phase must not leak into the next.
+	var visits atomic.Int64
+	p.Drain([]mem.Address{1, 2}, nil, func(w *gcwork.Worker, a mem.Address) { visits.Add(1) }, nil)
+	if visits.Load() != 2 {
+		t.Fatalf("post-panic Drain visited %d, want 2", visits.Load())
+	}
+}
+
+// TestWorkerPanicRoutedToParallelForCaller: same containment for the
+// static-partition path.
+func TestWorkerPanicRoutedToParallelForCaller(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.ParallelFor(1000, func(_, s, e int) {
+			for i := s; i < e; i++ {
+				if i == 321 {
+					panic(i)
+				}
+			}
+		})
+	}()
+	wp, ok := recovered.(*gcwork.WorkerPanic)
+	if !ok || wp.Value != 321 {
+		t.Fatalf("recovered %v, want *WorkerPanic{321}", recovered)
+	}
+	covered := make([]atomic.Int32, 100)
+	p.ParallelFor(100, func(_, s, e int) {
+		for i := s; i < e; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("post-panic ParallelFor: index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+// TestWorkerPanicRoutedToReclaim: a panic on a loaned worker surfaces
+// at Reclaim, the loan hand-back barrier still releases the pool.
+func TestWorkerPanicRoutedToReclaim(t *testing.T) {
+	p := gcwork.NewPool(4)
+	defer p.Stop()
+	seeds := make([]mem.Address, 100)
+	for i := range seeds {
+		seeds[i] = mem.Address(i + 1)
+	}
+	loan := p.Lend(2, [][]mem.Address{seeds}, nil, func(w *gcwork.Worker, a mem.Address) {
+		if a == 50 {
+			panic("loan boom")
+		}
+	}, nil)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		loan.Reclaim()
+	}()
+	wp, ok := recovered.(*gcwork.WorkerPanic)
+	if !ok || wp.Value != "loan boom" {
+		t.Fatalf("recovered %v, want *WorkerPanic{loan boom}", recovered)
+	}
+	// Pool released and clean.
+	var visits atomic.Int64
+	p.Drain([]mem.Address{7}, nil, func(w *gcwork.Worker, a mem.Address) { visits.Add(1) }, nil)
+	if visits.Load() != 1 {
+		t.Fatalf("post-panic Drain visited %d, want 1", visits.Load())
+	}
+}
+
+// TestLendOnStoppedPool: Lend after Stop must be inert, returning the
+// seeds unprocessed instead of hanging or panicking.
+func TestLendOnStoppedPool(t *testing.T) {
+	p := gcwork.NewPool(2)
+	p.Drain([]mem.Address{1}, nil, func(w *gcwork.Worker, a mem.Address) {}, nil)
+	p.Stop()
+	segs := [][]mem.Address{{1, 2, 3}}
+	loan := p.Lend(2, segs, nil, func(w *gcwork.Worker, a mem.Address) {
+		t.Error("work ran on a stopped pool")
+	}, nil)
+	loan.Interrupt() // must be a no-op, not a crash
+	rem := loan.Reclaim()
+	if len(rem) != 1 || len(rem[0]) != 3 {
+		t.Fatalf("stopped-pool loan remainder %v, want the original seeds", rem)
+	}
+}
+
+// TestWorkerStatsSplitPauseLoan: utilization telemetry must attribute
+// items to the right phase kind.
+func TestWorkerStatsSplitPauseLoan(t *testing.T) {
+	p := gcwork.NewPool(2)
+	defer p.Stop()
+	seeds := []mem.Address{1, 2, 3, 4, 5}
+	p.Drain(seeds, nil, func(w *gcwork.Worker, a mem.Address) {}, nil)
+	loan := p.Lend(1, [][]mem.Address{seeds}, nil, func(w *gcwork.Worker, a mem.Address) {}, nil)
+	loan.Reclaim()
+	var pause, loaned int64
+	for _, ws := range p.WorkerStats() {
+		pause += ws.PauseItems
+		loaned += ws.LoanItems
+	}
+	if pause != 5 || loaned != 5 {
+		t.Fatalf("worker stats pause=%d loan=%d, want 5 and 5", pause, loaned)
+	}
+}
+
+// TestSharedAddrQueuePopSeg: PopSeg must hand back one segment at a
+// time, keep the length counter exact, and eventually drain everything.
+func TestSharedAddrQueuePopSeg(t *testing.T) {
+	var q gcwork.SharedAddrQueue
+	total := 0
+	for i := 0; i < 10; i++ {
+		seg := make([]mem.Address, i+1)
+		for j := range seg {
+			seg[j] = mem.Address(100*i + j)
+		}
+		q.Append(seg)
+		total += len(seg)
+	}
+	q.Push(999)
+	total++
+	got := 0
+	for {
+		s := q.PopSeg()
+		if s == nil {
+			break
+		}
+		if len(s) == 0 {
+			t.Fatal("PopSeg returned an empty segment")
+		}
+		got += len(s)
+		if q.Len() != total-got {
+			t.Fatalf("Len %d after popping %d of %d", q.Len(), got, total)
+		}
+	}
+	if got != total {
+		t.Fatalf("PopSeg drained %d, want %d", got, total)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty: %d", q.Len())
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"lxr/internal/baselines"
 	"lxr/internal/core"
+	"lxr/internal/gcwork"
 	"lxr/internal/stats"
 	"lxr/internal/vm"
 	"lxr/internal/workload"
@@ -34,24 +35,48 @@ const (
 	CLXRSTW    = "LXR-STW"  // both ablations
 )
 
-// NewPlan constructs a collector by name. Returns nil when the
-// collector cannot run at this heap size (ZGC's minimum heap).
+// NewPlan constructs a collector by name with the default concurrent
+// parallelism. Returns nil when the collector cannot run at this heap
+// size (ZGC's minimum heap).
 func NewPlan(id string, heapBytes, gcThreads int) vm.Plan {
+	return NewPlanConc(id, heapBytes, gcThreads, 0)
+}
+
+// NewPlanConc is NewPlan with an explicit between-pause borrow width:
+// concWorkers is how many gcwork workers the collector's concurrent
+// phases (LXR's lazy decrements and SATB trace, G1's and Shenandoah's
+// concurrent marking) lend from the pool between pauses. 0 selects each
+// collector's default (half the GC threads).
+func NewPlanConc(id string, heapBytes, gcThreads, concWorkers int) vm.Plan {
+	lxrCfg := func(c core.Config) vm.Plan {
+		c.HeapBytes, c.GCThreads, c.ConcWorkers = heapBytes, gcThreads, concWorkers
+		return core.New(c)
+	}
+	conc := func(p interface{ SetConcWorkers(int) }) {
+		if concWorkers > 0 {
+			p.SetConcWorkers(concWorkers)
+		}
+	}
 	switch id {
 	case CG1:
-		return baselines.NewG1(heapBytes, gcThreads)
+		p := baselines.NewG1(heapBytes, gcThreads)
+		conc(p)
+		return p
 	case CLXR:
-		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads})
+		return lxrCfg(core.Config{})
 	case CLXRNoSATB:
-		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads, NoConcurrentSATB: true})
+		return lxrCfg(core.Config{NoConcurrentSATB: true})
 	case CLXRNoLD:
-		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads, NoLazyDecrements: true})
+		return lxrCfg(core.Config{NoLazyDecrements: true})
 	case CLXRSTW:
-		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: gcThreads, NoConcurrentSATB: true, NoLazyDecrements: true})
+		return lxrCfg(core.Config{NoConcurrentSATB: true, NoLazyDecrements: true})
 	case CShen:
-		return baselines.NewShenandoah(heapBytes, gcThreads)
+		p := baselines.NewShenandoah(heapBytes, gcThreads)
+		conc(p)
+		return p
 	case CZGC:
 		if p := baselines.NewZGC(heapBytes, gcThreads); p != nil {
+			conc(p)
 			return p
 		}
 		return nil
@@ -73,7 +98,11 @@ func NewPlan(id string, heapBytes, gcThreads int) vm.Plan {
 type Options struct {
 	Scale     workload.Scale
 	GCThreads int
-	Out       io.Writer
+	// ConcWorkers is how many gcwork workers the collectors' concurrent
+	// phases borrow between pauses (0 = collector default: half the GC
+	// threads). See core.Config.ConcWorkers.
+	ConcWorkers int
+	Out         io.Writer
 	// Bench filters experiments to a subset of benchmarks (nil = all).
 	Bench []string
 	// Record, when non-nil, observes every completed RunOne execution
@@ -127,6 +156,19 @@ type RunResult struct {
 	GCWork    time.Duration
 	ConcWork  time.Duration
 	MutBusy   time.Duration
+
+	// Scheduler utilization (collectors built on the gcwork pool).
+	ConcWorkers int                 // configured between-pause borrow width
+	WorkerStats []gcwork.WorkerStat // per-worker items, split pause/loan
+	Loans       int64               // between-pause loans served
+	LoanItems   int64               // items processed on loaned workers
+}
+
+// gcTelemetry is implemented by plans exposing gcwork pool utilization.
+type gcTelemetry interface {
+	GCWorkerStats() []gcwork.WorkerStat
+	GCLoanStats() (loans, items int64)
+	ConcWorkers() int
 }
 
 // PausePercentile returns the p-th percentile pause in milliseconds.
@@ -158,12 +200,12 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	if opts.Record != nil {
 		defer func() { opts.Record(res) }()
 	}
-	plan := NewPlan(collector, heap, opts.GCThreads)
+	plan := NewPlanConc(collector, heap, opts.GCThreads, opts.ConcWorkers)
 	if plan == nil {
 		return res
 	}
 	v := vm.New(plan, 8)
-	defer v.Shutdown()
+	defer v.Shutdown() // idempotent; the explicit call below is first
 	failed := false
 	if spec.Request != nil && rate > 0 {
 		rr := workload.RunRequests(v, sz, rate)
@@ -177,11 +219,19 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 		failed = br.Failed
 	}
 	res.OK = !failed
+	// Shut down before reading stats so the concurrent thread's final
+	// quanta (and loan telemetry) are fully accounted.
+	v.Shutdown()
 	res.Pauses = v.Stats.Pauses()
 	res.Counters = v.Stats.Counters()
 	res.GCWork = v.Stats.GCWork()
 	res.ConcWork = v.Stats.ConcurrentWork()
 	res.MutBusy = v.Stats.MutatorBusy()
+	if t, ok := plan.(gcTelemetry); ok {
+		res.ConcWorkers = t.ConcWorkers()
+		res.WorkerStats = t.GCWorkerStats()
+		res.Loans, res.LoanItems = t.GCLoanStats()
+	}
 	return res
 }
 

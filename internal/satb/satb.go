@@ -11,6 +11,8 @@
 package satb
 
 import (
+	"sync/atomic"
+
 	"lxr/internal/gcwork"
 	"lxr/internal/mem"
 	"lxr/internal/meta"
@@ -71,11 +73,13 @@ func (t *Tracer) Pending() bool { return len(t.stack) > 0 || t.inbox.Len() > 0 }
 // Step processes up to budget queue items on the owner thread. It
 // returns true when the trace has no work left (the queue may refill if
 // new seeds arrive from a later pause, so completion is decided by the
-// collector, not the tracer).
+// collector, not the tracer). The inbox is consumed one segment at a
+// time — never flattened — so a bounded step touches only the memory it
+// is about to trace.
 func (t *Tracer) Step(budget int) bool {
 	for budget > 0 {
 		if len(t.stack) == 0 {
-			t.stack = t.inbox.Take()
+			t.stack = t.inbox.PopSeg()
 			if len(t.stack) == 0 {
 				return true
 			}
@@ -86,6 +90,42 @@ func (t *Tracer) Step(budget int) bool {
 		t.visit(ref, func(a mem.Address) { t.stack = append(t.stack, a) })
 		budget--
 	}
+	return !t.Pending()
+}
+
+// StepParallel advances the trace on workers borrowed from the pool:
+// the pending stack and every queued inbox segment are lent to up to
+// `workers` parked pool workers, which drain the closure in parallel
+// between pauses. It returns true when the trace has no work left.
+//
+// Must be called on the tracer's owner thread (it moves the owner
+// stack into the loan). All hooks must be thread-safe, as for
+// DrainParallel. onLoan, when non-nil, receives the loan immediately
+// after it starts so the caller can register it for interruption by a
+// pause; when the loan is interrupted, every unprocessed reference is
+// returned to the inbox, so no trace work is ever lost.
+func (t *Tracer) StepParallel(pool *gcwork.Pool, workers int, onLoan func(*gcwork.Loan)) bool {
+	segs := t.inbox.TakeSegs()
+	if len(t.stack) > 0 {
+		segs = append(segs, t.stack)
+		t.stack = nil
+	}
+	if len(segs) == 0 {
+		return true
+	}
+	var marked atomic.Int64
+	loan := pool.Lend(workers, segs, nil, func(w *gcwork.Worker, a mem.Address) {
+		if t.visitParallel(obj.Ref(a), w) {
+			marked.Add(1)
+		}
+	}, nil)
+	if onLoan != nil {
+		onLoan(loan)
+	}
+	for _, rem := range loan.Reclaim() {
+		t.inbox.Append(rem)
+	}
+	t.marked += marked.Load()
 	return !t.Pending()
 }
 
@@ -141,15 +181,18 @@ func (t *Tracer) DrainParallel(pool *gcwork.Pool) {
 	}, nil)
 }
 
-func (t *Tracer) visitParallel(ref obj.Ref, w *gcwork.Worker) {
+// visitParallel is the thread-safe variant of visit used by
+// DrainParallel and StepParallel. It reports whether ref was newly
+// marked by this call.
+func (t *Tracer) visitParallel(ref obj.Ref, w *gcwork.Worker) bool {
 	if ref.IsNil() {
-		return
+		return false
 	}
 	if t.Filter != nil && !t.Filter(ref) {
-		return
+		return false
 	}
 	if !t.Marks.TrySet(ref) {
-		return
+		return false
 	}
 	if t.OnMark != nil {
 		t.OnMark(ref)
@@ -163,6 +206,7 @@ func (t *Tracer) visitParallel(ref obj.Ref, w *gcwork.Worker) {
 		}
 		w.Push(v)
 	})
+	return true
 }
 
 // ResolvePending rewrites every queued trace address through resolve.

@@ -134,6 +134,11 @@ func (v *VM) releaseRunning() {
 // them, recording the pause under the given kind. Only collection code
 // may call it, and only from within a RunCollection critical section (or
 // a context that guarantees no concurrent StopTheWorld).
+//
+// The world is restarted even if f panics (contained worker panics are
+// re-raised inside pause phases), so the panic propagates to a caller
+// that can record the failure instead of leaving every other mutator
+// parked forever.
 func (v *VM) StopTheWorld(kind string, f func()) time.Duration {
 	reqStart := time.Now()
 	v.mu.Lock()
@@ -143,14 +148,16 @@ func (v *VM) StopTheWorld(kind string, f func()) time.Duration {
 	}
 	v.mu.Unlock()
 
+	defer func() {
+		v.mu.Lock()
+		v.phase.Store(0)
+		v.cond.Broadcast()
+		v.mu.Unlock()
+	}()
+
 	start := time.Now()
 	f()
 	dur := time.Since(start)
-
-	v.mu.Lock()
-	v.phase.Store(0)
-	v.cond.Broadcast()
-	v.mu.Unlock()
 
 	v.Stats.RecordPause(kind, start, dur, start.Sub(reqStart))
 	return dur

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lxr/internal/gcwork"
 	"lxr/internal/obj"
 	"lxr/internal/vm"
 )
@@ -41,9 +42,15 @@ type BatchResult struct {
 	Failed bool
 }
 
-// runGuard converts a collector OOM panic into a recorded failure.
+// runGuard converts a collector OOM panic into a recorded failure. OOM
+// panics raised on gcwork worker goroutines arrive re-wrapped in
+// *gcwork.WorkerPanic (panic containment routes them to the phase
+// dispatcher, which is a mutator here); both shapes are recognised.
 func runGuard(failed *atomic.Bool) {
 	if r := recover(); r != nil {
+		if wp, ok := r.(*gcwork.WorkerPanic); ok {
+			r = wp.Value
+		}
 		if s, ok := r.(string); ok && strings.Contains(s, "out of memory") {
 			failed.Store(true)
 			return
