@@ -38,7 +38,7 @@ func BenchmarkTable1(b *testing.B) {
 					continue
 				}
 				b.ReportMetric(r.QPS, r.Collector+"_qps")
-				b.ReportMetric(stats.Percentile(r.Latencies, 99.99), r.Collector+"_p9999ms")
+				b.ReportMetric(r.LatencyPercentileMS(99.99), r.Collector+"_p9999ms")
 			}
 		}
 	}
@@ -71,7 +71,7 @@ func BenchmarkTable4(b *testing.B) {
 			for bench, byCol := range data {
 				for col, r := range byCol {
 					if r.OK {
-						b.ReportMetric(stats.Percentile(r.Latencies, 99.99), bench+"_"+col+"_p9999ms")
+						b.ReportMetric(r.LatencyPercentileMS(99.99), bench+"_"+col+"_p9999ms")
 					}
 				}
 			}

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|all
+//	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|heapsens|all
 //	          [-scale quick|default] [-gcthreads N] [-concworkers N]
-//	          [-bench name,name,...] [-json file|-]
+//	          [-bench name,name,...] [-json file|-] [-hist file]
 //
 // -json additionally emits every executed run as a machine-readable
-// JSON array of summaries (pause percentiles, throughput, STW totals)
-// to the given file, or to stdout with "-". See EXPERIMENTS.md.
+// JSON array of summaries (pause percentiles — overall and per phase —
+// MMU curves, throughput, STW totals) to the given file, or to stdout
+// with "-". -hist archives every run's full latency/pause/worker-item
+// histograms as sparse bucket dumps. See EXPERIMENTS.md.
 package main
 
 import (
@@ -26,12 +28,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "table6", "experiment id (table1, table3, table4, table5, table6, table7, figure5, figure7, sensitivity, all)")
+		experiment = flag.String("experiment", "table6", "experiment id (table1, table3, table4, table5, table6, table7, figure5, figure7, sensitivity, heapsens, all)")
 		scale      = flag.String("scale", "default", "workload scaling: quick or default")
 		gcThreads  = flag.Int("gcthreads", 4, "parallel GC threads")
 		concW      = flag.Int("concworkers", 0, "GC workers borrowed by concurrent phases between pauses (0 = half of gcthreads)")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
 		jsonOut    = flag.String("json", "", "write run summaries as JSON to this file ('-' = stdout)")
+		histOut    = flag.String("hist", "", "write full latency/pause histogram dumps as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -46,27 +49,39 @@ func main() {
 
 	opts := harness.Options{GCThreads: *gcThreads, ConcWorkers: *concW, Out: os.Stdout}
 	var summaries []harness.RunSummary
-	var jsonFile *os.File
-	jsonTmp := ""
+	var dumps []harness.HistDump
+	var jsonFile, histFile *os.File
+	jsonTmp, histTmp := "", ""
 	curExperiment := ""
-	if *jsonOut != "" {
-		// Probe the output path before running anything — a typo'd path
-		// must fail fast, not after hours of experiments — but write to
-		// a temporary file renamed into place at the end, so an aborted
-		// run never destroys the previous results file.
-		if *jsonOut != "-" {
-			jsonTmp = *jsonOut + ".tmp"
-			f, err := os.Create(jsonTmp)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "create %s: %v\n", jsonTmp, err)
-				os.Exit(1)
-			}
-			jsonFile = f
+	// Probe output paths before running anything — a typo'd path must
+	// fail fast, not after hours of experiments — but write to temporary
+	// files renamed into place at the end, so an aborted run never
+	// destroys the previous results files.
+	openOut := func(path string) (*os.File, string) {
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", tmp, err)
+			os.Exit(1)
 		}
+		return f, tmp
+	}
+	if *jsonOut != "" && *jsonOut != "-" {
+		jsonFile, jsonTmp = openOut(*jsonOut)
+	}
+	if *histOut != "" && *histOut != "-" {
+		histFile, histTmp = openOut(*histOut)
+	}
+	if *jsonOut != "" || *histOut != "" {
 		opts.Record = func(r *harness.RunResult) {
-			s := r.Summary()
-			s.Experiment = curExperiment
-			summaries = append(summaries, s)
+			if *jsonOut != "" {
+				s := r.Summary()
+				s.Experiment = curExperiment
+				summaries = append(summaries, s)
+			}
+			if *histOut != "" {
+				dumps = append(dumps, r.HistDump(curExperiment))
+			}
 		}
 	}
 	switch *scale {
@@ -105,6 +120,8 @@ func main() {
 			harness.RunFigure7(opts, nil)
 		case "sensitivity":
 			harness.RunSensitivity(opts)
+		case "heapsens":
+			harness.RunHeapSensitivity(opts, nil)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
@@ -120,27 +137,34 @@ func main() {
 		run(*experiment)
 	}
 
-	if *jsonOut != "" {
+	finish := func(f *os.File, tmp, dst string, write func(w io.Writer) error) {
 		w := io.Writer(os.Stdout)
-		if jsonFile != nil {
-			w = jsonFile
+		if f != nil {
+			w = f
 		}
-		if err := harness.WriteJSON(w, summaries); err != nil {
-			fmt.Fprintf(os.Stderr, "write json: %v\n", err)
+		if err := write(w); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", dst, err)
 			os.Exit(1)
 		}
-		if jsonFile != nil {
-			if err := jsonFile.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "close %s: %v\n", jsonTmp, err)
-				os.Exit(1)
-			}
-			if err := os.Rename(jsonTmp, *jsonOut); err != nil {
-				fmt.Fprintf(os.Stderr, "rename %s: %v\n", jsonTmp, err)
-				os.Exit(1)
-			}
+		if f == nil {
+			return
 		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close %s: %v\n", tmp, err)
+			os.Exit(1)
+		}
+		if err := os.Rename(tmp, dst); err != nil {
+			fmt.Fprintf(os.Stderr, "rename %s: %v\n", tmp, err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		finish(jsonFile, jsonTmp, *jsonOut, func(w io.Writer) error { return harness.WriteJSON(w, summaries) })
+	}
+	if *histOut != "" {
+		finish(histFile, histTmp, *histOut, func(w io.Writer) error { return harness.WriteHistJSON(w, dumps) })
 	}
 }
 
 // experimentOrder is the canonical experiment list ("-experiment all").
-var experimentOrder = []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity"}
+var experimentOrder = []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity", "heapsens"}

@@ -19,6 +19,9 @@ import (
 	"lxr/internal/workload"
 )
 
+// ms converts nanoseconds to milliseconds for display.
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
 func main() {
 	var (
 		bench     = flag.String("bench", "lusearch", "benchmark name")
@@ -57,12 +60,29 @@ func main() {
 	}
 
 	fmt.Printf("\n%s on %s, %.1fx heap (%d MB): %s wall\n", *collector, *bench, *heap, r.HeapBytes>>20, r.Wall.Round(time.Microsecond))
-	if len(r.Latencies) > 0 {
-		fmt.Printf("QPS %.0f\n", r.QPS)
+	if r.Latency != nil && r.Latency.Count() > 0 {
+		fmt.Printf("QPS %.0f over %d metered requests\n", r.QPS, r.Latency.Count())
+		for _, p := range []float64{50, 99, 99.9, 99.99} {
+			fmt.Printf("  latency p%g: %.3f ms\n", p, r.LatencyPercentileMS(p))
+		}
 	}
 	fmt.Printf("pauses: %d, total STW %s\n", len(r.Pauses), r.TotalSTW().Round(time.Microsecond))
 	for _, p := range []float64{50, 95, 99, 100} {
 		fmt.Printf("  pause p%g: %.3f ms\n", p, r.PausePercentile(p))
+	}
+	kinds := make([]string, 0, len(r.PauseHist))
+	for k := range r.PauseHist {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		h := r.PauseHist[k]
+		fmt.Printf("  phase %-12s n=%-5d p50 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+			k, h.Count(), ms(h.Percentile(50)), ms(h.Percentile(99)), ms(h.Max()))
+	}
+	fmt.Println("MMU (window -> min mutator utilization):")
+	for _, pt := range r.MMU {
+		fmt.Printf("  %8s  %.3f\n", pt.Window, pt.Utilization)
 	}
 	fmt.Printf("collector work: %s (concurrent %s), mutator busy: %s\n",
 		r.GCWork.Round(time.Microsecond), r.ConcWork.Round(time.Microsecond), r.MutBusy.Round(time.Microsecond))

@@ -10,7 +10,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"sort"
 
 	"lxr/internal/harness"
 	"lxr/internal/workload"
@@ -36,18 +35,9 @@ func main() {
 	fmt.Printf("\n%s @ %.1fx heap (%d MB)\n", *collector, *heap, r.HeapBytes>>20)
 	fmt.Printf("throughput: %.0f QPS over %s\n", r.QPS, r.Wall.Round(1e6))
 	for _, p := range []float64{50, 99, 99.9, 99.99} {
-		fmt.Printf("query latency p%-6g %8.2f ms\n", p, percentile(r.Latencies, p))
+		fmt.Printf("query latency p%-6g %8.2f ms\n", p, r.LatencyPercentileMS(p))
 	}
 	for _, p := range []float64{50, 99, 99.9, 99.99} {
 		fmt.Printf("GC pause     p%-6g %8.3f ms\n", p, r.PausePercentile(p))
 	}
-}
-
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	return s[int(p/100*float64(len(s)-1))]
 }

@@ -241,14 +241,21 @@ func (p *G1) CollectNow(cause string) {
 }
 
 func (p *G1) collectLocked() {
-	dur := p.vm.StopTheWorld("young", func() { p.collect() })
+	kind := "young"
+	dur := p.vm.StopTheWorldTagged(kind, func() string {
+		kind = p.collect()
+		return kind
+	})
 	p.vm.Stats.AddGCWork(dur * time.Duration(p.pool.N))
+	p.recordPauseWorkerItems(kind)
 }
 
 // collect performs the evacuation pause: copy all live young objects to
 // old regions (promotion), optionally evacuating the marking-selected
-// old collection set, then free every young region.
-func (p *G1) collect() {
+// old collection set, then free every young region. Returns the pause
+// kind for telemetry attribution: "young", or "mixed" when the pause
+// additionally evacuated the old collection set.
+func (p *G1) collect() string {
 	p.ctl.quiesce()
 	defer p.ctl.release()
 	p.pausesYoung++
@@ -400,6 +407,10 @@ func (p *G1) collect() {
 		p.bt.InUseBlocks()+p.bt.LOS().BlocksInUse() > p.bt.BudgetBlocks()*45/100 {
 		p.startMark(rootSlots)
 	}
+	if mixed {
+		return "mixed"
+	}
+	return "young"
 }
 
 // evacuate copies a young (or mixed-cset) object, scanning it once for

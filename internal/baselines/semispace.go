@@ -118,6 +118,7 @@ func (p *SemiSpace) CollectNow(cause string) {
 // collection lock (vm.RunCollection / vm.CollectIfEpoch).
 func (p *SemiSpace) collectLocked() {
 	dur := p.vm.StopTheWorld("full", func() { p.collect() })
+	p.recordPauseWorkerItems("full")
 	p.vm.Stats.AddGCWork(dur * time.Duration(p.pool.N))
 }
 

@@ -370,6 +370,7 @@ func (p *Shen) runCycle() {
 			p.tracer.Seed(seeds)
 			p.phase.Store(phMark)
 		})
+		p.recordPauseWorkerItems("init-mark")
 	})
 
 	// Concurrent mark. The cycle controller is the tracer's owner
@@ -430,6 +431,7 @@ func (p *Shen) runCycle() {
 			p.sweepLargeUnmarked(p.marks)
 			p.phase.Store(phEvac)
 		})
+		p.recordPauseWorkerItems("final-mark")
 	})
 
 	// Concurrent evacuation: copy every marked object in the cset.
@@ -496,6 +498,7 @@ func (p *Shen) runCycle() {
 			p.phase.Store(phIdle)
 		})
 		p.vm.Stats.AddGCWork(dur)
+		p.recordPauseWorkerItems("final-update")
 	})
 }
 

@@ -47,19 +47,33 @@ const (
 // collectRC performs one RC epoch: a brief stop-the-world pause that
 // applies increments (evacuating surviving young objects), sweeps young
 // blocks, manages the SATB trace lifecycle, and hands decrements to the
-// concurrent thread.
+// concurrent thread. The recorded pause kind is refined by what the
+// pause actually absorbed — "rc" (young RC epoch), "+dec" when it had
+// to finish decrements in the pause, "+mark" when it completed the SATB
+// trace (final mark + mature reclamation + evacuation-set selection) —
+// so the per-phase pause histograms separate those populations.
 func (p *LXR) collectRC(cause string) {
-	dur := p.vm.StopTheWorld("rc", func() {
+	kind := "rc"
+	dur := p.vm.StopTheWorldTagged(kind, func() string {
 		p.conc.quiesce()
 		defer p.conc.release()
-		p.pausePipeline(cause)
+		kind = p.pausePipeline(cause)
+		return kind
 	})
 	// Approximate collector cycles: the pause occupies the GC worker
 	// pool (LBO's "total cycles" metric, Fig. 7b).
 	p.vm.Stats.AddGCWork(dur * time.Duration(p.pool.N))
+	// Attribute this pause's per-worker work to its phase (the pool's
+	// in-pause counters cannot advance again until the next pause).
+	p.pauseTrack.Observe(p.pool, func(w int, items int64) {
+		p.vm.Stats.RecordHistAt(w+1, vm.HistWorkerPauseItems+kind, items)
+	})
 }
 
-func (p *LXR) pausePipeline(cause string) {
+// pausePipeline runs the pause phases and returns the refined pause
+// kind for telemetry attribution.
+func (p *LXR) pausePipeline(cause string) string {
+	hadDec, hadMark := false, false
 	st := p.vm.Stats
 	st.Add(CtrPauses, 1)
 
@@ -89,6 +103,7 @@ func (p *LXR) pausePipeline(cause string) {
 	// them before anything else.
 	if p.conc.hasPendingDecs() {
 		st.Add(CtrPausesLazy, 1)
+		hadDec = true
 		p.processDecsInPause(p.conc.takePendingDecs())
 	}
 
@@ -190,6 +205,7 @@ func (p *LXR) pausePipeline(cause string) {
 	// evacuation sets using the remembered sets bootstrapped by the
 	// trace (§3.3.2).
 	if traceComplete {
+		hadMark = true
 		p.finalizeSATB()
 	}
 
@@ -204,15 +220,18 @@ func (p *LXR) pausePipeline(cause string) {
 		st.Add(CtrPausesSATB, 1)
 		if p.cfg.NoConcurrentSATB {
 			// -SATB ablation: the whole trace (and its reclamation)
-			// happens inside this pause.
+			// happens inside this pause — a mark pause for attribution.
+			hadMark = true
 			p.tracer.DrainParallel(p.pool)
 			p.finalizeSATB()
 		}
 	}
 
 	// 9. Hand decrements over: lazily to the concurrent thread, or — for
-	// the -LD ablation — processed right here.
+	// the -LD ablation — processed right here (which makes every pause a
+	// decrement pause for attribution purposes).
 	if p.cfg.NoLazyDecrements {
+		hadDec = true
 		p.processDecsInPause(decs)
 		p.conc.finishEvacBlocksNow()
 	} else {
@@ -223,6 +242,14 @@ func (p *LXR) pausePipeline(cause string) {
 		testPauseHook(p)
 	}
 	p.epoch.Add(1)
+	kind := "rc"
+	if hadDec {
+		kind += "+dec"
+	}
+	if hadMark {
+		kind += "+mark"
+	}
+	return kind
 }
 
 // testPauseHook, when non-nil, runs at the end of every pause with the

@@ -42,11 +42,48 @@ func TestRunOneRequests(t *testing.T) {
 		t.Fatal("calibration failed")
 	}
 	r := harness.RunOne(spec, harness.CLXR, 2, rate, opts)
-	if !r.OK || len(r.Latencies) == 0 {
+	if !r.OK || r.Latency == nil || r.Latency.Count() == 0 {
 		t.Fatal("no latencies recorded")
+	}
+	if r.Latency.Count() != int64(opts.Scale.Size(spec).Requests) {
+		t.Fatalf("latency histogram holds %d samples, want %d requests",
+			r.Latency.Count(), opts.Scale.Size(spec).Requests)
 	}
 	if r.PausePercentile(50) < 0 {
 		t.Fatal("bad pause percentile")
+	}
+	if p50, p999 := r.LatencyPercentileMS(50), r.LatencyPercentileMS(99.9); p50 <= 0 || p999 < p50 {
+		t.Fatalf("bad latency percentiles: p50 %v p99.9 %v", p50, p999)
+	}
+	// Pause attribution: every pause must land in a phase histogram,
+	// and the merged histogram must agree with the pause records.
+	var phaseTotal int64
+	for _, h := range r.PauseHist {
+		phaseTotal += h.Count()
+	}
+	if phaseTotal != int64(len(r.Pauses)) {
+		t.Fatalf("phase histograms hold %d pauses, records hold %d", phaseTotal, len(r.Pauses))
+	}
+	// MMU: full curve with utilizations in [0,1].
+	if len(r.MMU) == 0 {
+		t.Fatal("no MMU curve")
+	}
+	for _, pt := range r.MMU {
+		if pt.Utilization < 0 || pt.Utilization > 1 {
+			t.Fatalf("MMU out of range: %+v", pt)
+		}
+	}
+	// Per-pause worker utilization histograms (satellite of the pause
+	// attribution): LXR drains on pool workers, so phase-tagged item
+	// distributions must exist.
+	found := false
+	for name := range r.Hists {
+		if strings.HasPrefix(name, "gcwork.pause_items.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no per-pause worker item histograms recorded")
 	}
 }
 
@@ -93,6 +130,35 @@ func TestRecordHookAndSummaryJSON(t *testing.T) {
 	}
 	if s.WallMS <= 0 || s.PauseCount == 0 || s.PauseMS["max"] <= 0 {
 		t.Fatalf("summary missing metrics: %+v", s)
+	}
+	if len(s.PausePhaseMS) == 0 {
+		t.Fatalf("summary missing per-phase pause digests: %+v", s)
+	}
+	var phases int64
+	for _, d := range s.PausePhaseMS {
+		phases += d.Count
+	}
+	if phases != int64(s.PauseCount) {
+		t.Fatalf("phase digests cover %d pauses of %d", phases, s.PauseCount)
+	}
+	if len(s.MMU) == 0 {
+		t.Fatalf("summary missing MMU curve")
+	}
+	if len(s.WorkerPauseItemsByPhase) == 0 {
+		t.Fatalf("summary missing per-pause worker item digests")
+	}
+	d := r.HistDump("test")
+	if len(d.Pauses) == 0 || d.Bench != "fop" {
+		t.Fatalf("bad hist dump: %+v", d)
+	}
+	for kind, e := range d.Pauses {
+		var n int64
+		for _, b := range e.Buckets {
+			n += b.Count
+		}
+		if n != e.Count {
+			t.Fatalf("dump %q: bucket counts %d != count %d", kind, n, e.Count)
+		}
 	}
 	var buf bytes.Buffer
 	if err := harness.WriteJSON(&buf, []harness.RunSummary{s}); err != nil {

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"lxr/internal/workload"
+)
+
+// DefaultHeapFactors is the heap-factor grid RunHeapSensitivity sweeps.
+var DefaultHeapFactors = []float64{1.3, 1.7, 2, 3, 4, 6, 10}
+
+// RunHeapSensitivity sweeps the heap factor on lusearch for the four
+// concurrent collectors under the metered request load. Shenandoah and
+// ZGC cannot run lusearch at tight heaps on this substrate (the paper's
+// Table 1 pathology: concurrent evacuation needs copy headroom a tight
+// heap does not have); the sweep reports tail latency and worst pause
+// at each factor, and a per-collector footer names the first factor
+// that ran OK (the recovery point) when it is not the tightest one.
+// Results flow through Options.Record, so `lxr-bench -experiment
+// heapsens -json` archives the sweep.
+func RunHeapSensitivity(opts Options, factors []float64) map[string]map[float64]*RunResult {
+	opts = opts.WithDefaults()
+	if len(factors) == 0 {
+		factors = DefaultHeapFactors
+	}
+	spec, _ := workload.ByName("lusearch")
+	rate := CalibrateRate(spec, opts)
+	collectors := []string{CG1, CLXR, CShen, CZGC}
+	out := map[string]map[float64]*RunResult{}
+
+	w := tabwriter.NewWriter(opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Heap-factor sensitivity: lusearch, metered request load")
+	fmt.Fprintln(w, "Collector\tHeap\tOK\tQPS\tq99ms\tq99.9ms\tgcMaxms\tMMU@10ms")
+	for _, c := range collectors {
+		recoveredAt := 0.0
+		for _, f := range factors {
+			r := RunOne(spec, c, f, rate, opts)
+			if out[c] == nil {
+				out[c] = map[float64]*RunResult{}
+			}
+			out[c][f] = r
+			if !r.OK {
+				fmt.Fprintf(w, "%s\t%.1fx\t-\t-\t-\t-\t-\t-\n", c, f)
+				continue
+			}
+			if recoveredAt == 0 {
+				recoveredAt = f
+			}
+			mmu10 := 0.0
+			for _, pt := range r.MMU {
+				if pt.WindowMS == 10 {
+					mmu10 = pt.Utilization
+				}
+			}
+			fmt.Fprintf(w, "%s\t%.1fx\tok\t%.0f\t%.1f\t%.1f\t%.2f\t%.3f\n",
+				c, f, r.QPS, r.LatencyPercentileMS(99), r.LatencyPercentileMS(99.9),
+				r.PausePercentile(100), mmu10)
+		}
+		switch {
+		case recoveredAt == 0:
+			fmt.Fprintf(w, "%s\t(never recovers on this grid)\n", c)
+		case recoveredAt > factors[0]:
+			fmt.Fprintf(w, "%s\t(recovers at %.1fx)\n", c, recoveredAt)
+		}
+	}
+	w.Flush()
+	return out
+}

@@ -3,8 +3,45 @@ package harness
 import (
 	"encoding/json"
 	"io"
+	"strings"
 	"time"
+
+	"lxr/internal/telemetry"
+	"lxr/internal/vm"
 )
+
+// PhaseDigest summarises one phase-tagged distribution (pause durations
+// of one pause kind, in ms).
+type PhaseDigest struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p99.9"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+func msDigest(h *telemetry.Histogram) PhaseDigest {
+	q := func(p float64) float64 { return float64(h.Percentile(p)) / float64(time.Millisecond) }
+	return PhaseDigest{
+		Count: h.Count(),
+		P50:   q(50), P90: q(90), P99: q(99), P999: q(99.9),
+		Max:  float64(h.Max()) / float64(time.Millisecond),
+		Mean: h.Mean() / float64(time.Millisecond),
+	}
+}
+
+// ItemsDigest summarises a per-pause per-worker work-item distribution:
+// one sample per (pause, worker), so spread between P50 and Max is the
+// phase's load-imbalance signal.
+type ItemsDigest struct {
+	Count int64   `json:"count"` // samples = pauses × workers
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+}
 
 // RunSummary is the machine-readable digest of one RunResult, emitted
 // by cmd/lxr-bench -json so the perf trajectory can be tracked across
@@ -19,12 +56,23 @@ type RunSummary struct {
 	WallMS float64 `json:"wall_ms"`
 	QPS    float64 `json:"qps,omitempty"`
 
-	// Request latency percentiles in ms (request workloads only).
+	// Request latency percentiles in ms (request workloads only), from
+	// the merged latency histogram, plus the total metered requests.
 	LatencyMS map[string]float64 `json:"latency_ms,omitempty"`
+	Requests  int64              `json:"requests,omitempty"`
 
-	// GC pause percentiles/max in ms, and pause count.
+	// GC pause percentiles/max in ms over all phases, and pause count.
 	PauseMS    map[string]float64 `json:"pause_ms"`
 	PauseCount int                `json:"pause_count"`
+
+	// PausePhaseMS breaks the pause distribution down by phase kind
+	// ("young", "mixed", "rc", "rc+mark", ...), the paper's per-phase
+	// pause attribution.
+	PausePhaseMS map[string]PhaseDigest `json:"pause_phase_ms,omitempty"`
+
+	// MMU is the minimum-mutator-utilization curve over the standard
+	// window grid, computed from the pause timeline.
+	MMU []telemetry.MMUPoint `json:"mmu,omitempty"`
 
 	TotalSTWMS float64 `json:"total_stw_ms"`
 	GCWorkMS   float64 `json:"gc_work_ms"`
@@ -41,6 +89,11 @@ type RunSummary struct {
 	ConcLoanItems    int64   `json:"conc_loan_items,omitempty"`
 	WorkerPauseItems []int64 `json:"worker_pause_items,omitempty"`
 	WorkerLoanItems  []int64 `json:"worker_loan_items,omitempty"`
+
+	// WorkerPauseItemsByPhase digests the per-pause per-worker item
+	// distributions keyed by phase kind (the per-pause refinement of
+	// worker_pause_items: localises imbalance to a phase).
+	WorkerPauseItemsByPhase map[string]ItemsDigest `json:"worker_pause_items_by_phase,omitempty"`
 }
 
 // Summary digests a RunResult.
@@ -56,11 +109,12 @@ func (r *RunResult) Summary() RunSummary {
 	}
 	s.WallMS = float64(r.Wall) / float64(time.Millisecond)
 	s.QPS = r.QPS
-	if len(r.Latencies) > 0 {
-		p50, p90, p99, p999, p9999 := latPercentiles(r.Latencies)
+	if r.Latency != nil && r.Latency.Count() > 0 {
+		p50, p90, p99, p999, p9999 := latPercentiles(r.Latency)
 		s.LatencyMS = map[string]float64{
 			"p50": p50, "p90": p90, "p99": p99, "p99.9": p999, "p99.99": p9999,
 		}
+		s.Requests = r.Latency.Count()
 	}
 	s.PauseCount = len(r.Pauses)
 	s.PauseMS = map[string]float64{
@@ -71,6 +125,13 @@ func (r *RunResult) Summary() RunSummary {
 		"p99.99": r.PausePercentile(99.99),
 		"max":    r.PausePercentile(100),
 	}
+	if len(r.PauseHist) > 0 {
+		s.PausePhaseMS = map[string]PhaseDigest{}
+		for kind, h := range r.PauseHist {
+			s.PausePhaseMS[kind] = msDigest(h)
+		}
+	}
+	s.MMU = r.MMU
 	s.TotalSTWMS = float64(r.TotalSTW()) / float64(time.Millisecond)
 	s.GCWorkMS = float64(r.GCWork) / float64(time.Millisecond)
 	s.ConcWorkMS = float64(r.ConcWork) / float64(time.Millisecond)
@@ -85,6 +146,22 @@ func (r *RunResult) Summary() RunSummary {
 			s.WorkerLoanItems[i] = ws.LoanItems
 		}
 	}
+	for name, h := range r.Hists {
+		kind, ok := strings.CutPrefix(name, vm.HistWorkerPauseItems)
+		if !ok || h.Count() == 0 {
+			continue
+		}
+		if s.WorkerPauseItemsByPhase == nil {
+			s.WorkerPauseItemsByPhase = map[string]ItemsDigest{}
+		}
+		s.WorkerPauseItemsByPhase[kind] = ItemsDigest{
+			Count: h.Count(),
+			P50:   h.Percentile(50),
+			P99:   h.Percentile(99),
+			Max:   h.Max(),
+			Mean:  h.Mean(),
+		}
+	}
 	return s
 }
 
@@ -93,4 +170,53 @@ func WriteJSON(w io.Writer, sums []RunSummary) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(sums)
+}
+
+// HistDump is one run's full distributions — sparse bucket dumps rather
+// than summary percentiles — as archived by cmd/lxr-bench -hist. All
+// values are nanoseconds except the worker-item distributions.
+type HistDump struct {
+	Experiment string `json:"experiment,omitempty"`
+	Bench      string `json:"bench"`
+	Collector  string `json:"collector"`
+	HeapBytes  int    `json:"heap_bytes"`
+
+	Latency *telemetry.Export           `json:"latency,omitempty"`
+	Pauses  map[string]telemetry.Export `json:"pauses,omitempty"`
+	// WorkerPauseItems holds the per-pause per-worker item-count
+	// distributions keyed by phase kind.
+	WorkerPauseItems map[string]telemetry.Export `json:"worker_pause_items,omitempty"`
+}
+
+// HistDump exports the run's histograms for archival.
+func (r *RunResult) HistDump(experiment string) HistDump {
+	d := HistDump{Experiment: experiment, Bench: r.Bench, Collector: r.Collector, HeapBytes: r.HeapBytes}
+	if r.Latency != nil && r.Latency.Count() > 0 {
+		e := r.Latency.Export()
+		d.Latency = &e
+	}
+	if len(r.PauseHist) > 0 {
+		d.Pauses = map[string]telemetry.Export{}
+		for kind, h := range r.PauseHist {
+			d.Pauses[kind] = h.Export()
+		}
+	}
+	for name, h := range r.Hists {
+		kind, ok := strings.CutPrefix(name, vm.HistWorkerPauseItems)
+		if !ok || h.Count() == 0 {
+			continue
+		}
+		if d.WorkerPauseItems == nil {
+			d.WorkerPauseItems = map[string]telemetry.Export{}
+		}
+		d.WorkerPauseItems[kind] = h.Export()
+	}
+	return d
+}
+
+// WriteHistJSON renders histogram dumps as an indented JSON array.
+func WriteHistJSON(w io.Writer, dumps []HistDump) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dumps)
 }

@@ -7,14 +7,13 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"time"
 
 	"lxr/internal/baselines"
 	"lxr/internal/core"
 	"lxr/internal/gcwork"
-	"lxr/internal/stats"
+	"lxr/internal/telemetry"
 	"lxr/internal/vm"
 	"lxr/internal/workload"
 )
@@ -148,14 +147,27 @@ type RunResult struct {
 	HeapBytes int
 	OK        bool // false: collector cannot run (missing data point)
 
-	Wall      time.Duration
-	QPS       float64
-	Latencies []float64 // ms (request workloads)
-	Pauses    []vm.Pause
-	Counters  map[string]int64
-	GCWork    time.Duration
-	ConcWork  time.Duration
-	MutBusy   time.Duration
+	Wall time.Duration
+	QPS  float64
+	// Latency is the merged request-latency histogram in nanoseconds
+	// (request workloads only; nil for batch runs).
+	Latency *telemetry.Histogram
+	Pauses  []vm.Pause
+	// PauseHist holds the per-phase pause-duration histograms (ns),
+	// keyed by pause kind ("young", "mixed", "rc+mark", ...).
+	PauseHist map[string]*telemetry.Histogram
+	// Hists holds the run's named distributions (per-pause per-worker
+	// item counts under vm.HistWorkerPauseItems + phase kind).
+	Hists map[string]*telemetry.Histogram
+	// MMU is the minimum-mutator-utilization curve computed from the
+	// pause timeline over telemetry.DefaultMMUWindows.
+	MMU      []telemetry.MMUPoint
+	Counters map[string]int64
+	GCWork   time.Duration
+	ConcWork time.Duration
+	MutBusy  time.Duration
+
+	mergedPause *telemetry.Histogram // lazy union of PauseHist
 
 	// Scheduler utilization (collectors built on the gcwork pool).
 	ConcWorkers int                 // configured between-pause borrow width
@@ -171,13 +183,32 @@ type gcTelemetry interface {
 	ConcWorkers() int
 }
 
-// PausePercentile returns the p-th percentile pause in milliseconds.
-func (r *RunResult) PausePercentile(p float64) float64 {
-	xs := make([]float64, len(r.Pauses))
-	for i, pa := range r.Pauses {
-		xs[i] = float64(pa.Dur) / float64(time.Millisecond)
+// PauseHistMerged returns the union of the per-phase pause histograms
+// (all pauses regardless of phase), computed once.
+func (r *RunResult) PauseHistMerged() *telemetry.Histogram {
+	if r.mergedPause == nil {
+		r.mergedPause = telemetry.NewHistogram(telemetry.PauseConfig())
+		for _, h := range r.PauseHist {
+			r.mergedPause.Add(h)
+		}
 	}
-	return stats.Percentile(xs, p)
+	return r.mergedPause
+}
+
+// PausePercentile returns the p-th percentile pause in milliseconds,
+// from the merged pause histogram (bucket error documented on
+// telemetry.Config; exact at p=100).
+func (r *RunResult) PausePercentile(p float64) float64 {
+	return float64(r.PauseHistMerged().Percentile(p)) / float64(time.Millisecond)
+}
+
+// LatencyPercentileMS returns the p-th percentile request latency in
+// milliseconds (0 for batch runs).
+func (r *RunResult) LatencyPercentileMS(p float64) float64 {
+	if r.Latency == nil {
+		return 0
+	}
+	return float64(r.Latency.Percentile(p)) / float64(time.Millisecond)
 }
 
 // TotalSTW sums stop-the-world time.
@@ -207,14 +238,20 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	v := vm.New(plan, 8)
 	defer v.Shutdown() // idempotent; the explicit call below is first
 	failed := false
+	// runStart must be the same epoch Wall is measured from, or the MMU
+	// computation would mis-place pauses inside [0, Wall]; the workload
+	// returns its own start for exactly this.
+	var runStart time.Time
 	if spec.Request != nil && rate > 0 {
 		rr := workload.RunRequests(v, sz, rate)
+		runStart = rr.Start
 		res.Wall = rr.Wall
 		res.QPS = rr.QPS
-		res.Latencies = rr.Latencies
+		res.Latency = rr.Latency
 		failed = rr.Failed
 	} else {
 		br := workload.RunBatch(v, sz)
+		runStart = br.Start
 		res.Wall = br.Wall
 		failed = br.Failed
 	}
@@ -223,6 +260,9 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	// quanta (and loan telemetry) are fully accounted.
 	v.Shutdown()
 	res.Pauses = v.Stats.Pauses()
+	res.PauseHist = v.Stats.PauseHistograms()
+	res.Hists = v.Stats.Histograms()
+	res.MMU = telemetry.MMU(pauseIntervals(res.Pauses, runStart), res.Wall, nil)
 	res.Counters = v.Stats.Counters()
 	res.GCWork = v.Stats.GCWork()
 	res.ConcWork = v.Stats.ConcurrentWork()
@@ -272,16 +312,22 @@ func CalibrateRate(spec workload.Spec, opts Options) float64 {
 	return rate
 }
 
-// latPercentiles extracts the standard percentile set in ms.
-func latPercentiles(lat []float64) (p50, p90, p99, p999, p9999 float64) {
-	ps := stats.Percentiles(lat, 50, 90, 99, 99.9, 99.99)
-	return ps[0], ps[1], ps[2], ps[3], ps[4]
+// latPercentiles extracts the standard percentile set in ms from a
+// latency histogram (zeros when nil).
+func latPercentiles(h *telemetry.Histogram) (p50, p90, p99, p999, p9999 float64) {
+	if h == nil {
+		return 0, 0, 0, 0, 0
+	}
+	q := func(p float64) float64 { return float64(h.Percentile(p)) / float64(time.Millisecond) }
+	return q(50), q(90), q(99), q(99.9), q(99.99)
 }
 
-// sortedCopy is a tiny helper for latency curves.
-func sortedCopy(xs []float64) []float64 {
-	s := make([]float64, len(xs))
-	copy(s, xs)
-	sort.Float64s(s)
-	return s
+// pauseIntervals converts pause records to run-relative intervals for
+// the MMU computation.
+func pauseIntervals(pauses []vm.Pause, runStart time.Time) []telemetry.Interval {
+	out := make([]telemetry.Interval, 0, len(pauses))
+	for _, p := range pauses {
+		out = append(out, telemetry.Interval{Start: p.Start.Sub(runStart), Dur: p.Dur})
+	}
+	return out
 }

@@ -35,7 +35,7 @@ func RunTable1(opts Options) []*RunResult {
 			fmt.Fprintf(w, "%s\t-\n", r.Collector)
 			continue
 		}
-		p50, _, p99, p999, p9999 := latPercentiles(r.Latencies)
+		p50, _, p99, p999, p9999 := latPercentiles(r.Latency)
 		g := func(p float64) float64 { return r.PausePercentile(p) }
 		fmt.Fprintf(w, "%s\t%.0f\t%.2f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 			r.Collector, r.QPS, r.Wall.Seconds(), p50, p99, p999, p9999, g(50), g(99), g(99.9), g(99.99))
@@ -90,7 +90,7 @@ func RunTable4(opts Options) map[string]map[string]*RunResult {
 				fmt.Fprintf(w, "%s\t%s\t-\t-\t-\t-\t-\n", spec.Name, c)
 				continue
 			}
-			p50, p90, p99, p999, p9999 := latPercentiles(r.Latencies)
+			p50, p90, p99, p999, p9999 := latPercentiles(r.Latency)
 			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
 				spec.Name, c, p50, p90, p99, p999, p9999)
 		}
@@ -112,9 +112,8 @@ func RunFigure5(opts Options) {
 			if !r.OK {
 				continue
 			}
-			s := sortedCopy(r.Latencies)
 			for _, p := range grid {
-				fmt.Fprintf(opts.Out, "%s,%s,%v,%.2f\n", bench, col, p, stats.PercentileSorted(s, p))
+				fmt.Fprintf(opts.Out, "%s,%s,%v,%.2f\n", bench, col, p, r.LatencyPercentileMS(p))
 			}
 		}
 	}
@@ -136,11 +135,11 @@ func RunTable5(opts Options) {
 			if !g1.OK {
 				continue
 			}
-			_, _, _, _, g1p := latPercentiles(g1.Latencies)
+			_, _, _, _, g1p := latPercentiles(g1.Latency)
 			for _, c := range []string{CLXR, CShen, CZGC} {
 				r := RunOne(spec, c, factor, rate, opts)
 				if r.OK && g1p > 0 {
-					_, _, _, _, p := latPercentiles(r.Latencies)
+					_, _, _, _, p := latPercentiles(r.Latency)
 					relLat[c] = append(relLat[c], p/g1p)
 				}
 			}

@@ -93,31 +93,3 @@ func CI95(xs []float64) float64 {
 	sd := math.Sqrt(ss / float64(n-1))
 	return 1.96 * sd / math.Sqrt(float64(n))
 }
-
-// Histogram is a simple fixed-bucket log-scale histogram for pause and
-// latency distributions.
-type Histogram struct {
-	// Buckets[i] counts values in [2^i, 2^(i+1)) microseconds.
-	Buckets [40]int64
-	Count   int64
-	Max     float64
-}
-
-// AddMicros records a value in microseconds.
-func (h *Histogram) AddMicros(us float64) {
-	if us < 1 {
-		us = 1
-	}
-	b := int(math.Log2(us))
-	if b < 0 {
-		b = 0
-	}
-	if b >= len(h.Buckets) {
-		b = len(h.Buckets) - 1
-	}
-	h.Buckets[b]++
-	h.Count++
-	if us > h.Max {
-		h.Max = us
-	}
-}

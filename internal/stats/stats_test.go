@@ -70,13 +70,3 @@ func TestMeanCI(t *testing.T) {
 		t.Fatal("CI of single sample must be 0")
 	}
 }
-
-func TestHistogram(t *testing.T) {
-	var h stats.Histogram
-	h.AddMicros(1)
-	h.AddMicros(1000)
-	h.AddMicros(1e9)
-	if h.Count != 3 || h.Max != 1e9 {
-		t.Fatalf("count %d max %v", h.Count, h.Max)
-	}
-}

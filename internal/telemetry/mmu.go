@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Interval is one stop-the-world pause on the run's timeline, with
+// Start relative to the start of the run.
+type Interval struct {
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// MMUPoint is one point of a minimum-mutator-utilization curve.
+type MMUPoint struct {
+	Window      time.Duration `json:"-"`
+	WindowMS    float64       `json:"window_ms"`
+	Utilization float64       `json:"utilization"`
+}
+
+// DefaultMMUWindows is the standard window grid for MMU curves.
+var DefaultMMUWindows = []time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second,
+}
+
+// MMU computes the minimum mutator utilization curve from a pause
+// timeline (Cheng & Blelloch): for each window size w, the minimum over
+// all length-w windows within [0, total] of the fraction of the window
+// the mutators were running. Pauses are clamped into [0, total] and may
+// be passed in any order; windows larger than the run report the whole-
+// run utilization. The worst window either starts at a pause start or
+// ends at a pause end, so only those candidates are evaluated — exact,
+// and O(pauses · windows · log pauses).
+func MMU(pauses []Interval, total time.Duration, windows []time.Duration) []MMUPoint {
+	if len(windows) == 0 {
+		windows = DefaultMMUWindows
+	}
+	out := make([]MMUPoint, 0, len(windows))
+	if total <= 0 {
+		for _, w := range windows {
+			out = append(out, MMUPoint{Window: w, WindowMS: ms(w), Utilization: 1})
+		}
+		return out
+	}
+
+	// Clamp, drop empty, sort by start. Pauses are serialized by the
+	// VM's collection lock so they never overlap.
+	ps := make([]Interval, 0, len(pauses))
+	for _, p := range pauses {
+		if p.Start < 0 {
+			p.Dur += p.Start
+			p.Start = 0
+		}
+		if p.Start+p.Dur > total {
+			p.Dur = total - p.Start
+		}
+		if p.Dur > 0 {
+			ps = append(ps, p)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+
+	// prefix[i] = total pause time of ps[:i].
+	prefix := make([]time.Duration, len(ps)+1)
+	for i, p := range ps {
+		prefix[i+1] = prefix[i] + p.Dur
+	}
+	allPause := prefix[len(ps)]
+
+	// stwIn returns the pause time inside [a, b].
+	stwIn := func(a, b time.Duration) time.Duration {
+		// First pause ending after a.
+		lo := sort.Search(len(ps), func(i int) bool { return ps[i].Start+ps[i].Dur > a })
+		// First pause starting at or after b.
+		hi := sort.Search(len(ps), func(i int) bool { return ps[i].Start >= b })
+		if lo >= hi {
+			return 0
+		}
+		t := prefix[hi] - prefix[lo]
+		// Trim the partial overlaps at the edges.
+		if p := ps[lo]; p.Start < a {
+			t -= a - p.Start
+		}
+		if p := ps[hi-1]; p.Start+p.Dur > b {
+			t -= p.Start + p.Dur - b
+		}
+		return t
+	}
+
+	for _, w := range windows {
+		if w >= total {
+			out = append(out, MMUPoint{Window: w, WindowMS: ms(w),
+				Utilization: 1 - float64(allPause)/float64(total)})
+			continue
+		}
+		var worst time.Duration
+		for _, p := range ps {
+			// Window ending at the pause end (shifted right to fit).
+			end := p.Start + p.Dur
+			if end < w {
+				end = w
+			}
+			if got := stwIn(end-w, end); got > worst {
+				worst = got
+			}
+			// Window starting at the pause start (shifted left to fit).
+			start := p.Start
+			if start+w > total {
+				start = total - w
+			}
+			if got := stwIn(start, start+w); got > worst {
+				worst = got
+			}
+		}
+		if worst > w {
+			worst = w
+		}
+		out = append(out, MMUPoint{Window: w, WindowMS: ms(w),
+			Utilization: 1 - float64(worst)/float64(w)})
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry_test
+
+// raceEnabled lets the alloc-count test skip under the race detector,
+// whose instrumentation makes testing.AllocsPerRun unreliable.
+const raceEnabled = true

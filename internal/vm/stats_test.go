@@ -145,6 +145,102 @@ func ExampleStats_AddAt() {
 	// Output: 10
 }
 
+// TestPauseHistogramsPerKind: RecordPause must attribute each pause to
+// its phase kind's histogram, with the histogram totals matching the
+// pause records exactly.
+func TestPauseHistogramsPerKind(t *testing.T) {
+	s := vm.NewStats()
+	now := time.Now()
+	durs := map[string][]time.Duration{
+		"young":   {1 * time.Millisecond, 3 * time.Millisecond, 9 * time.Millisecond},
+		"mixed":   {20 * time.Millisecond},
+		"rc+mark": {2 * time.Millisecond, 2 * time.Millisecond},
+	}
+	total := 0
+	for kind, ds := range durs {
+		for _, d := range ds {
+			s.RecordPause(kind, now, d, 0)
+			total++
+		}
+	}
+	hs := s.PauseHistograms()
+	if len(hs) != len(durs) {
+		t.Fatalf("got %d kinds, want %d", len(hs), len(durs))
+	}
+	sum := int64(0)
+	for kind, ds := range durs {
+		h := hs[kind]
+		if h == nil {
+			t.Fatalf("no histogram for %q", kind)
+		}
+		if h.Count() != int64(len(ds)) {
+			t.Errorf("%q: count %d, want %d", kind, h.Count(), len(ds))
+		}
+		var want int64
+		for _, d := range ds {
+			want += int64(d)
+		}
+		if h.Sum() != want {
+			t.Errorf("%q: sum %d, want %d", kind, h.Sum(), want)
+		}
+		sum += h.Count()
+	}
+	if sum != int64(s.PauseCount()) {
+		t.Errorf("histogram counts %d != pause records %d", sum, s.PauseCount())
+	}
+	if got := hs["mixed"].Max(); got != int64(20*time.Millisecond) {
+		t.Errorf("mixed max %d", got)
+	}
+	// Clone independence: mutating the snapshot must not leak back.
+	hs["young"].Record(1)
+	if s.PauseHistograms()["young"].Count() != 3 {
+		t.Error("PauseHistograms returned a live reference")
+	}
+}
+
+// TestNamedHistogramRegistry: RecordHistAt samples merge across shards
+// exactly, mirroring the counter registry's convention.
+func TestNamedHistogramRegistry(t *testing.T) {
+	s := vm.NewStats()
+	if s.Histogram("nope") != nil {
+		t.Fatal("unrecorded name should be nil")
+	}
+	var want int64
+	for w := 0; w < 3*vm.HistShards; w++ { // include modulo wrap
+		s.RecordHistAt(w, "gcwork.pause_items.young", int64(w))
+		want += int64(w)
+	}
+	s.RecordHist("gcwork.pause_items.young", 7)
+	want += 7
+	h := s.Histogram("gcwork.pause_items.young")
+	if h.Count() != int64(3*vm.HistShards+1) || h.Sum() != want {
+		t.Fatalf("count %d sum %d, want %d/%d", h.Count(), h.Sum(), 3*vm.HistShards+1, want)
+	}
+	all := s.Histograms()
+	if len(all) != 1 || all["gcwork.pause_items.young"].Count() != h.Count() {
+		t.Fatalf("Histograms() mismatch: %v", all)
+	}
+}
+
+// TestStopTheWorldTagged: the refined kind returned by the pause body
+// must win over the provisional kind.
+func TestStopTheWorldTagged(t *testing.T) {
+	v := vm.New(baselines.NewSerial(16<<20), 4)
+	defer v.Shutdown()
+	v.StopTheWorldTagged("young", func() string { return "mixed" })
+	v.StopTheWorldTagged("young", func() string { return "" })
+	pauses := v.Stats.Pauses()
+	// The Serial plan may have paused during boot; look at the last two.
+	k1, k2 := pauses[len(pauses)-2].Kind, pauses[len(pauses)-1].Kind
+	if k1 != "mixed" || k2 != "young" {
+		t.Fatalf("kinds %q, %q; want mixed, young", k1, k2)
+	}
+	hs := v.Stats.PauseHistograms()
+	if hs["mixed"] == nil || hs["mixed"].Count() != 1 {
+		t.Fatal("refined kind not attributed to its histogram")
+	}
+}
+
 // TestStopTheWorldPanicRestartsWorld: a panic inside a pause (contained
 // worker panics are re-raised there) must not leave the world stopped —
 // sibling mutators must be able to continue after the panic propagates.

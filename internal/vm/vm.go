@@ -140,6 +140,17 @@ func (v *VM) releaseRunning() {
 // that can record the failure instead of leaving every other mutator
 // parked forever.
 func (v *VM) StopTheWorld(kind string, f func()) time.Duration {
+	return v.StopTheWorldTagged(kind, func() string { f(); return "" })
+}
+
+// StopTheWorldTagged is StopTheWorld for pauses whose phase is only
+// known once the work has run: f returns the refined pause kind the
+// pause is attributed to ("" keeps kind). Collectors whose pauses
+// dynamically absorb extra phases — LXR pauses that finish a lazy
+// decrement batch or complete the SATB trace, G1 young pauses that turn
+// mixed — use it so the per-phase pause histograms and reports separate
+// those populations.
+func (v *VM) StopTheWorldTagged(kind string, f func() string) time.Duration {
 	reqStart := time.Now()
 	v.mu.Lock()
 	v.phase.Store(1)
@@ -156,7 +167,9 @@ func (v *VM) StopTheWorld(kind string, f func()) time.Duration {
 	}()
 
 	start := time.Now()
-	f()
+	if refined := f(); refined != "" {
+		kind = refined
+	}
 	dur := time.Since(start)
 
 	v.Stats.RecordPause(kind, start, dur, start.Sub(reqStart))
@@ -281,6 +294,17 @@ func (m *Mutator) Blocked(f func()) {
 	t0 := time.Now()
 	m.VM.releaseRunning()
 	f()
+	m.VM.acquireRunning()
+	m.parkedNs.Add(int64(time.Since(t0)))
+}
+
+// BlockedSleep sleeps with the running token released — equivalent to
+// Blocked(func() { time.Sleep(d) }) but without the closure, so the
+// open-loop request pacer allocates nothing per request.
+func (m *Mutator) BlockedSleep(d time.Duration) {
+	t0 := time.Now()
+	m.VM.releaseRunning()
+	time.Sleep(d)
 	m.VM.acquireRunning()
 	m.parkedNs.Add(int64(time.Since(t0)))
 }

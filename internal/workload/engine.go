@@ -33,6 +33,7 @@ const matureFraction = 0.45
 
 // BatchResult reports a batch run.
 type BatchResult struct {
+	Start     time.Time // when the run (and Wall) started
 	Wall      time.Duration
 	Allocated int64
 	// Failed is set when the collector could not keep the workload
@@ -256,5 +257,5 @@ func RunBatch(v *vm.VM, sz Sized) BatchResult {
 		}(w)
 	}
 	wg.Wait()
-	return BatchResult{Wall: time.Since(start), Allocated: total.Load(), Failed: failed.Load()}
+	return BatchResult{Start: start, Wall: time.Since(start), Allocated: total.Load(), Failed: failed.Load()}
 }

@@ -5,17 +5,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lxr/internal/telemetry"
 	"lxr/internal/vm"
 )
 
 // RequestResult reports a metered request run (DaCapo Chopin
 // methodology, §4): per-request latencies include computation,
 // interruptions (GC), and queueing behind an open-loop arrival process.
+//
+// Latencies are recorded into a constant-memory bucketed histogram, not
+// a per-request slice: the old []float64 grew with the request count
+// and was sorted inside the measured process, perturbing the heap under
+// test and capping run length; the histogram is O(buckets) however many
+// requests arrive (telemetry.LatencyConfig documents the bucket error).
 type RequestResult struct {
-	Wall      time.Duration
-	QPS       float64
-	Latencies []float64 // milliseconds, one per request
-	Failed    bool      // collector could not sustain the workload (OOM)
+	Start   time.Time // arrival epoch the run (and Wall) is measured from
+	Wall    time.Duration
+	QPS     float64
+	Latency *telemetry.Histogram // ns per request; nil for batch runs
+	Failed  bool                 // collector could not sustain the workload (OOM)
 }
 
 // processRequest performs one request: allocate the request's working
@@ -75,10 +83,18 @@ func (p *RequestProfile) Request() *RequestProfile { return p }
 // at ratePerSec into an unbounded queue; sz.Mutators workers serve them.
 // Request i's latency is measured from its scheduled arrival to its
 // completion, so GC interruptions delay both the active request and
-// everything queued behind it — the paper's central measurement.
+// everything queued behind it — the paper's central measurement. This
+// is the coordinated-omission correction: a pause that stalls a worker
+// charges every request scheduled behind it for its queueing delay,
+// instead of silently thinning the arrival stream.
+//
+// Each worker records into its own histogram shard, so the metering
+// itself is lock-free and allocation-free per request: nothing on this
+// path grows with the request count or disturbs the collector under
+// measurement.
 func RunRequests(v *vm.VM, sz Sized, ratePerSec float64) RequestResult {
 	n := sz.Requests
-	lat := make([]float64, n)
+	rec := telemetry.NewRecorder(telemetry.LatencyConfig(), sz.Mutators)
 	interval := time.Duration(float64(time.Second) / ratePerSec)
 
 	var next atomic.Int64
@@ -87,7 +103,7 @@ func RunRequests(v *vm.VM, sz Sized, ratePerSec float64) RequestResult {
 	start := time.Now().Add(10 * time.Millisecond) // arrival epoch
 	for w := 0; w < sz.Mutators; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
 			m := v.RegisterMutator(numRoots)
 			defer m.Deregister()
@@ -100,19 +116,20 @@ func RunRequests(v *vm.VM, sz Sized, ratePerSec float64) RequestResult {
 				}
 				arrival := start.Add(time.Duration(i) * interval)
 				if wait := time.Until(arrival); wait > 0 {
-					m.Blocked(func() { time.Sleep(wait) })
+					m.BlockedSleep(wait)
 				}
 				processRequest(c, sz.Request)
-				lat[i] = float64(time.Since(arrival)) / float64(time.Millisecond)
+				rec.Record(shard, int64(time.Since(arrival)))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	return RequestResult{
-		Wall:      wall,
-		QPS:       float64(n) / wall.Seconds(),
-		Latencies: lat,
-		Failed:    failed.Load(),
+		Start:   start,
+		Wall:    wall,
+		QPS:     float64(n) / wall.Seconds(),
+		Latency: rec.Snapshot(),
+		Failed:  failed.Load(),
 	}
 }
