@@ -5,13 +5,18 @@
 //
 //	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|heapsens|all
 //	          [-scale quick|default] [-gcthreads N] [-concworkers N]
+//	          [-adaptive] [-mmufloor F] [-interval D]
 //	          [-bench name,name,...] [-json file|-] [-hist file]
 //
 // -json additionally emits every executed run as a machine-readable
 // JSON array of summaries (pause percentiles — overall and per phase —
 // MMU curves, throughput, STW totals) to the given file, or to stdout
 // with "-". -hist archives every run's full latency/pause/worker-item
-// histograms as sparse bucket dumps. See EXPERIMENTS.md.
+// histograms as sparse bucket dumps. -adaptive sizes the concurrent
+// borrow width from observed mutator utilization (optionally targeting
+// an MMU floor with -mmufloor) and records the governor's width trace
+// in the JSON output. -interval emits periodic per-window latency and
+// pause percentiles during each run. See EXPERIMENTS.md.
 package main
 
 import (
@@ -32,6 +37,9 @@ func main() {
 		scale      = flag.String("scale", "default", "workload scaling: quick or default")
 		gcThreads  = flag.Int("gcthreads", 4, "parallel GC threads")
 		concW      = flag.Int("concworkers", 0, "GC workers borrowed by concurrent phases between pauses (0 = half of gcthreads)")
+		adaptive   = flag.Bool("adaptive", false, "size the concurrent borrow width adaptively from observed mutator utilization (conctrl governor); -concworkers becomes the initial width")
+		mmuFloor   = flag.Float64("mmufloor", 0, "adaptive governor's minimum-mutator-utilization target in (0,1); 0 = pure utilization policy (implies -adaptive when set)")
+		interval   = flag.Duration("interval", 0, "periodic per-window report: snapshot merged histograms on this period and emit windowed latency/pause percentiles (e.g. 2s; also archived under \"intervals\" in -json)")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
 		jsonOut    = flag.String("json", "", "write run summaries as JSON to this file ('-' = stdout)")
 		histOut    = flag.String("hist", "", "write full latency/pause histogram dumps as JSON to this file ('-' = stdout)")
@@ -47,7 +55,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := harness.Options{GCThreads: *gcThreads, ConcWorkers: *concW, Out: os.Stdout}
+	if *mmuFloor < 0 || *mmuFloor >= 1 {
+		fmt.Fprintf(os.Stderr, "-mmufloor %v outside [0,1)\n", *mmuFloor)
+		os.Exit(2)
+	}
+	opts := harness.Options{
+		GCThreads:   *gcThreads,
+		ConcWorkers: *concW,
+		Adaptive:    *adaptive || *mmuFloor > 0,
+		MMUFloor:    *mmuFloor,
+		Interval:    *interval,
+		Out:         os.Stdout,
+	}
 	var summaries []harness.RunSummary
 	var dumps []harness.HistDump
 	var jsonFile, histFile *os.File

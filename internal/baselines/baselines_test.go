@@ -178,6 +178,12 @@ func TestZGCMinHeap(t *testing.T) {
 }
 
 func TestG1RunsMixedCollections(t *testing.T) {
+	// Run with the mixed-collection evacuation audit armed: every mixed
+	// pause proves — by walking the heap and the cset regions directly —
+	// that remset-driven evacuation covered all incoming edges before
+	// any region is freed.
+	baselines.SetG1AuditForTest(true)
+	defer baselines.SetG1AuditForTest(false)
 	p := baselines.NewG1(32<<20, 2)
 	v := vm.New(p, 8)
 	defer v.Shutdown()
@@ -186,7 +192,11 @@ func TestG1RunsMixedCollections(t *testing.T) {
 	// Long-lived data to push occupancy over the marking threshold,
 	// then churn so marking and mixed collections happen. The chain
 	// head lives in a root slot (reloaded after every allocation
-	// safepoint — G1 evacuates at young pauses).
+	// safepoint — G1 evacuates at young pauses). A long-lived large
+	// object holding a chain reference exercises the LOS remset path
+	// (large-object slots are covered only by the mark's edge records).
+	large := m.Alloc(3, 4, 64<<10)
+	m.Roots[1] = large
 	for i := 0; i < 120000; i++ {
 		n := m.Alloc(1, 1, 64)
 		if head := m.Roots[0]; !head.IsNil() {
@@ -198,11 +208,40 @@ func TestG1RunsMixedCollections(t *testing.T) {
 		if i%1000 == 999 {
 			m.Roots[0] = m.Alloc(1, 1, 64) // drop the chain periodically
 		}
+		if i%4096 == 0 {
+			m.Store(m.Roots[1], int(uint(i/4096))%4, m.Roots[0])
+		}
 	}
 	m.RequestGC()
 	if p.PausesYoung() == 0 {
 		t.Fatal("G1 never ran a young collection")
 	}
+	// Drive the mark/mixed pipeline to completion: keep churning (so
+	// old regions go sparse) and pausing until a mixed pause reclaims
+	// the cset. Each round gives the concurrent mark time to drain
+	// before the next pause can run the final mark.
+	for round := 0; round < 200 && p.PausesMixed() == 0; round++ {
+		for i := 0; i < 2000; i++ {
+			n := m.Alloc(1, 1, 64)
+			if head := m.Roots[0]; !head.IsNil() {
+				m.Store(n, 0, head)
+			}
+			if i%3 != 0 {
+				m.Roots[0] = n
+			}
+		}
+		if round%8 == 7 {
+			m.Roots[0] = m.Alloc(1, 1, 64) // drop the chain: old regions go sparse
+		}
+		m.RequestGC()
+	}
+	if p.PausesMixed() == 0 {
+		t.Fatal("G1 never ran a mixed collection: the audit was not exercised")
+	}
+	if p.MixedAudits() == 0 {
+		t.Fatal("mixed collections ran but the evacuation audit never fired")
+	}
+	t.Logf("mixed pauses %d, audited %d", p.PausesMixed(), p.MixedAudits())
 }
 
 // TestG1TightHeapEvacuationFailure drives G1 at near-full occupancy so

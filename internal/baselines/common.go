@@ -27,7 +27,9 @@ package baselines
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"lxr/internal/conctrl"
 	"lxr/internal/gcwork"
 	"lxr/internal/immix"
 	"lxr/internal/mem"
@@ -52,7 +54,12 @@ type base struct {
 	// concWorkers is the between-pause borrow width: how many pool
 	// workers the plan's concurrent phase driver (G1's marking thread,
 	// Shenandoah's cycle controller) lends for each trace advance.
+	// With the adaptive governor it is only the initial width.
 	concWorkers int
+	// adaptive/mmuFloor select the conctrl governor (SetAdaptive).
+	adaptive bool
+	mmuFloor float64
+	gov      *conctrl.Governor
 }
 
 func newBase(name string, heapBytes, gcThreads int) base {
@@ -100,6 +107,40 @@ func (b *base) SetConcWorkers(n int) {
 
 // ConcWorkers reports the configured between-pause borrow width.
 func (b *base) ConcWorkers() int { return b.concWorkers }
+
+// SetAdaptive enables the conctrl governor: the plan's concurrent
+// driver sizes its worker loans adaptively from observed mutator
+// utilization, starting at the configured borrow width, with mmuFloor
+// as an optional MMU-floor target (0 disables the floor). Must be
+// called before Boot.
+func (b *base) SetAdaptive(mmuFloor float64) {
+	b.adaptive = true
+	b.mmuFloor = mmuFloor
+}
+
+// GovernorTrace returns the adaptive-width governor's run record, or
+// nil when the borrow width is static (harness telemetry).
+func (b *base) GovernorTrace() *conctrl.Trace {
+	if b.gov == nil {
+		return nil
+	}
+	return b.gov.Trace()
+}
+
+// newController builds the plan's shared concurrent controller around
+// its cycle driver, attaching the adaptive governor when enabled.
+// stats may be nil for drivers that account their concurrent slices
+// themselves (Shenandoah's full-cycle quantum contains pauses); poll
+// selects the idle re-check period for occupancy-triggered drivers.
+// Call from Boot, once the VM exists.
+func (b *base) newController(d conctrl.CycleDriver, v *vm.VM, stats *vm.Stats, poll time.Duration) *conctrl.Controller {
+	cfg := conctrl.Config{Stats: stats, Width: b.concWorkers, Signals: v, Poll: poll}
+	if b.adaptive {
+		b.gov = conctrl.NewCollectorGovernor(b.pool.N, b.concWorkers, b.mmuFloor)
+		cfg.Governor = b.gov
+	}
+	return conctrl.NewController(d, cfg)
+}
 
 // GCWorkerStats exposes the pool's per-worker utilization, split into
 // in-pause and on-loan work (harness telemetry).

@@ -2,10 +2,10 @@ package baselines
 
 import (
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"lxr/internal/conctrl"
 	"lxr/internal/gcwork"
 	"lxr/internal/immix"
 	"lxr/internal/mem"
@@ -46,13 +46,16 @@ type G1 struct {
 	youngBlocks atomic.Int32 // young blocks allocated since last young GC
 	youngTarget int32
 
-	// concurrent mark driver
-	ctl *markController
+	// concurrent mark driver (shared conctrl controller + G1's cycle
+	// driver, which owns the mutator-overflow queues)
+	ctl  *conctrl.Controller
+	mark *g1Marker
 
 	gcScheduled  atomic.Bool
 	pausesYoung  int64
 	pausesMixed  int64
 	evacFailures atomic.Int64   // objects promoted in place (copy space exhausted)
+	mixedAudits  atomic.Int64   // mixed pauses that ran the evacuation audit
 	evacMarks    *meta.BitTable // per-pause scan-once scratch
 }
 
@@ -95,7 +98,7 @@ func NewG1(heapBytes, gcThreads int) *G1 {
 		p.youngTarget = 8
 	}
 	p.evacMarks = markBits(p.bt.Arena)
-	p.ctl = newMarkController(p)
+	p.mark = &g1Marker{g1: p}
 	return p
 }
 
@@ -108,12 +111,13 @@ type g1Mut struct {
 // Boot implements vm.Plan.
 func (p *G1) Boot(v *vm.VM) {
 	p.vm = v
-	p.ctl.start()
+	p.ctl = p.newController(p.mark, v, v.Stats, 0)
+	p.ctl.Start()
 }
 
 // Shutdown implements vm.Plan.
 func (p *G1) Shutdown() {
-	p.ctl.stop()
+	p.ctl.Stop()
 	p.pool.Stop()
 }
 
@@ -136,10 +140,10 @@ func (p *G1) UnbindMutator(m *vm.Mutator) {
 	ms := m.PlanState.(*g1Mut)
 	ms.alloc.Flush()
 	for _, s := range ms.dirty.TakeSegs() {
-		p.ctl.dirty.Append(s)
+		p.mark.dirty.Append(s)
 	}
 	for _, s := range ms.satbB.TakeSegs() {
-		p.ctl.satbIn.Append(s)
+		p.mark.satbIn.Append(s)
 	}
 	m.PlanState = nil
 }
@@ -256,8 +260,8 @@ func (p *G1) collectLocked() {
 // kind for telemetry attribution: "young", or "mixed" when the pause
 // additionally evacuated the old collection set.
 func (p *G1) collect() string {
-	p.ctl.quiesce()
-	defer p.ctl.release()
+	p.ctl.Quiesce()
+	defer p.ctl.Release()
 	p.pausesYoung++
 
 	var dirty []mem.Address
@@ -268,8 +272,8 @@ func (p *G1) collect() string {
 		dirty = ms.dirty.TakeInto(dirty)
 		satbSegs = append(satbSegs, ms.satbB.TakeSegs()...)
 	})
-	dirty = append(dirty, p.ctl.dirty.Take()...)
-	satbSegs = append(satbSegs, p.ctl.satbIn.TakeSegs()...)
+	dirty = append(dirty, p.mark.dirty.Take()...)
+	satbSegs = append(satbSegs, p.mark.satbIn.TakeSegs()...)
 	if p.marking.Load() {
 		// Final mark: when the concurrent tracer has drained everything
 		// captured up to the previous epoch, this pause seeds the last
@@ -321,8 +325,15 @@ func (p *G1) collect() string {
 		}
 	}
 	if mixed {
+		// Keep entries whose slot lives in the old generation or the
+		// large object space; young slots die with their regions (their
+		// survivors are rescanned during evacuation). LOS slots must be
+		// kept: a stable large-object field written before the mark is
+		// captured only by the mark's edge recording, never by a dirty
+		// entry, so dropping it would leave the slot dangling after the
+		// cset is freed.
 		for _, e := range p.rem.TakeAll() {
-			if p.rem.Valid(e) && p.bt.Kind(e.Slot.Block()) == g1KindOld {
+			if p.rem.Valid(e) && (p.bt.Kind(e.Slot.Block()) == g1KindOld || p.bt.LOS().Contains(e.Slot)) {
 				items = append(items, e.Slot)
 			}
 		}
@@ -370,6 +381,14 @@ func (p *G1) collect() string {
 			}
 			return p.om.Resolve(r)
 		})
+	}
+
+	// Mixed-collection fidelity audit (verify builds): before the cset
+	// regions are freed, prove every incoming edge was covered — no
+	// live object, root or large object may still reference a region
+	// about to be released.
+	if mixed && g1AuditEnabled {
+		p.auditMixedEvacuation(rootSlots)
 	}
 
 	// Free all young regions and — only at a mixed pause, when the cset
@@ -565,143 +584,49 @@ func (p *G1) finishMark() {
 
 // --- concurrent mark driver ---------------------------------------------------
 
-// markController is G1's concurrent marking driver. It is one
-// goroutine, but when the plan's concWorkers is above 1 each trace
-// advance borrows that many parked pool workers (gcwork.Pool.Lend), so
-// the closure drains in parallel between pauses. Pauses interrupt an
-// outstanding loan through quiesce, which also forms the hand-back
-// barrier: collect() never touches the pool or the tracer until the
-// loan is reclaimed and the controller acknowledges quiescence.
-type markController struct {
-	g1 *G1
-
-	mu    sync.Mutex
-	cond  *sync.Cond
-	yield bool
-	quiet bool
-	stopd bool
-
-	// loanRef publishes the outstanding worker loan so quiesce/stop can
-	// interrupt it without racing loan adoption.
-	loanRef gcwork.LoanRef
-
-	// failure holds a panic recovered from a trace advance (typically
-	// a *gcwork.WorkerPanic from a loaned worker), guarded by mu; the
-	// next quiesce re-raises it on the pause path, whose mutator
-	// goroutine is protected by workload.runGuard.
-	failure any
-
-	idle bool // tracer drained; wait for new seeds
+// g1Marker is G1's concurrent-marking cycle driver for the shared
+// conctrl controller, which owns the goroutine, the quiesce/release
+// handshake, loan interruption and panic parking. The driver holds only
+// G1's work state: the mutator-overflow queues and the tracer-idle
+// latch. When the borrow width is above 1 each trace advance borrows
+// that many parked pool workers (gcwork.Pool.Lend), so the closure
+// drains in parallel between pauses; collect() never touches the pool
+// or the tracer until the loan is reclaimed and the controller
+// acknowledges quiescence. Completion is decided at the next pause (the
+// final-mark), which seeds the last captured values.
+type g1Marker struct {
+	g1   *G1
+	idle atomic.Bool // tracer drained; wait for a pause to seed more
 
 	dirty  gcwork.SharedAddrQueue
 	satbIn gcwork.SharedAddrQueue
-
-	done chan struct{}
 }
 
-func newMarkController(p *G1) *markController {
-	c := &markController{g1: p, done: make(chan struct{})}
-	c.cond = sync.NewCond(&c.mu)
-	return c
+// HasWork implements conctrl.CycleDriver.
+func (d *g1Marker) HasWork() bool {
+	return d.g1.marking.Load() && !d.idle.Load()
 }
 
-func (c *markController) start() { go c.run() }
-
-func (c *markController) stop() {
-	c.mu.Lock()
-	c.stopd = true
-	c.loanRef.Interrupt()
-	c.cond.Broadcast()
-	c.mu.Unlock()
-	<-c.done
-}
-
-func (c *markController) quiesce() {
-	c.mu.Lock()
-	c.yield = true
-	c.loanRef.Interrupt()
-	c.cond.Broadcast()
-	for !c.quiet {
-		c.cond.Wait()
-	}
-	f := c.failure
-	c.failure = nil
-	c.mu.Unlock()
-	if f != nil {
-		panic(f)
-	}
-}
-
-func (c *markController) release() {
-	c.mu.Lock()
-	c.yield = false
-	c.idle = false // pauses may have seeded new trace work
-	c.loanRef.Disarm()
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-func (c *markController) run() {
-	defer close(c.done)
-	for {
-		c.mu.Lock()
-		for (c.yield || c.idle || !c.g1.marking.Load()) && !c.stopd {
-			c.quiet = true
-			c.cond.Broadcast()
-			c.cond.Wait()
-		}
-		if c.stopd {
-			c.quiet = true
-			c.cond.Broadcast()
-			c.mu.Unlock()
-			return
-		}
-		c.quiet = false
-		c.mu.Unlock()
-
-		t0 := time.Now()
-		idle, ok := c.guardedStep()
-		if !ok {
-			return
-		}
-		c.g1.vm.Stats.AddConcurrentWork(time.Since(t0))
-		if idle {
-			// Nothing to do until a pause seeds more work.
-			c.mu.Lock()
-			c.idle = true
-			c.mu.Unlock()
-		}
-	}
-}
-
-// guardedStep advances the trace with panic containment: a recovered
-// panic (e.g. from a loaned worker, re-raised by Reclaim) is parked in
-// c.failure for the next quiesce to deliver to the pause path, and
-// ok=false terminates the controller goroutine. Completion is decided
-// at the next pause (the final-mark), which seeds the last captured
-// values. With concWorkers > 1 the advance runs on borrowed pool
-// workers and lasts until the closure drains or a pause interrupts the
-// loan.
-func (c *markController) guardedStep() (idle, ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			c.loanRef.Drop()
-			c.mu.Lock()
-			c.failure = r
-			c.quiet = true
-			c.cond.Broadcast()
-			c.mu.Unlock()
-			idle, ok = false, false
-		}
-	}()
-	if k := c.g1.concWorkers; k > 1 {
-		idle = c.g1.tracer.StepParallel(c.g1.pool, k, c.loanRef.Adopt)
-		c.loanRef.Drop()
+// Quantum implements conctrl.CycleDriver: one trace advance, on
+// borrowed pool workers when the width allows, lasting until the
+// closure drains or a pause interrupts the loan.
+func (d *g1Marker) Quantum(width int) {
+	g := d.g1
+	var idle bool
+	if width > 1 {
+		idle = g.tracer.StepParallel(g.pool, width, g.ctl.LoanRef().Adopt)
+		g.ctl.LoanRef().Drop()
 	} else {
-		idle = c.g1.tracer.Step(traceQuantum)
+		idle = g.tracer.Step(traceQuantum)
 	}
-	return idle, true
+	if idle {
+		d.idle.Store(true)
+	}
 }
+
+// OnRelease implements conctrl.ReleaseNotifier: pauses may have seeded
+// new trace work, so the idle latch resets.
+func (d *g1Marker) OnRelease() { d.idle.Store(false) }
 
 const traceQuantum = 4096
 

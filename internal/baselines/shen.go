@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lxr/internal/conctrl"
 	"lxr/internal/gcwork"
 	"lxr/internal/immix"
 	"lxr/internal/mem"
@@ -51,11 +52,16 @@ type Shen struct {
 
 	cycleMu   sync.Mutex
 	cycleCond *sync.Cond
-	cycles    uint64 // completed cycles
-	wanted    bool   // a cycle has been requested
+	cycles    uint64      // completed cycles (guarded by cycleMu)
+	wanted    atomic.Bool // a cycle has been requested
 
 	stop atomic.Bool
-	done chan struct{}
+
+	// cycle driver: the shared conctrl controller owns the goroutine
+	// and panic containment; shenCycles supplies the work condition
+	// (occupancy or an explicit request) and runs one cycle per
+	// quantum.
+	ctl *conctrl.Controller
 
 	satbIn gcwork.SharedAddrQueue
 }
@@ -75,7 +81,7 @@ func NewZGC(heapBytes, gcThreads int) *Shen {
 }
 
 func newShen(name string, heapBytes, gcThreads int, lvb bool) *Shen {
-	p := &Shen{base: newBase(name, heapBytes, gcThreads), lvb: lvb, done: make(chan struct{})}
+	p := &Shen{base: newBase(name, heapBytes, gcThreads), lvb: lvb}
 	p.marks = markBits(p.bt.Arena)
 	p.tracer = &satb.Tracer{
 		OM:     p.om,
@@ -97,10 +103,14 @@ type shenMut struct {
 	satbB gcwork.AddrBuffer
 }
 
-// Boot implements vm.Plan.
+// Boot implements vm.Plan. The cycle controller polls heap occupancy
+// every 2ms while idle; Stats is nil because a cycle quantum contains
+// pauses and waiting — the concurrent slices are accounted inside
+// runCycle instead.
 func (p *Shen) Boot(v *vm.VM) {
 	p.vm = v
-	go p.controller()
+	p.ctl = p.newController(&shenCycles{p: p}, v, nil, 2*time.Millisecond)
+	p.ctl.Start()
 }
 
 // Shutdown implements vm.Plan.
@@ -109,7 +119,7 @@ func (p *Shen) Shutdown() {
 	p.cycleMu.Lock()
 	p.cycleCond.Broadcast()
 	p.cycleMu.Unlock()
-	<-p.done
+	p.ctl.Stop()
 	p.pool.Stop()
 }
 
@@ -173,8 +183,8 @@ func (p *Shen) waitForCycle(m *vm.Mutator) {
 	m.Blocked(func() {
 		p.cycleMu.Lock()
 		target := p.cycles + 1
-		p.wanted = true
-		p.cycleCond.Broadcast()
+		p.wanted.Store(true)
+		p.ctl.Kick()
 		for p.cycles < target && !p.stop.Load() {
 			p.cycleCond.Wait()
 		}
@@ -275,8 +285,8 @@ func (p *Shen) PollSafepoint(m *vm.Mutator) {}
 func (p *Shen) CollectNow(cause string) {
 	p.cycleMu.Lock()
 	target := p.cycles + 1
-	p.wanted = true
-	p.cycleCond.Broadcast()
+	p.wanted.Store(true)
+	p.ctl.Kick()
 	for p.cycles < target && !p.stop.Load() {
 		p.cycleCond.Wait()
 	}
@@ -285,48 +295,44 @@ func (p *Shen) CollectNow(cause string) {
 
 // --- the concurrent cycle ------------------------------------------------------
 
-// controller runs collection cycles: it watches heap occupancy and runs
-// mark → evacuate → update-references pipelines, pausing briefly for
-// init-mark, final-mark and final-update. A panic escaping a cycle
-// (e.g. a *gcwork.WorkerPanic re-raised by a loan's Reclaim) is
-// contained: the controller stops serving cycles, so stalled mutators
-// fail their allocations and the workload records a Failed data point
-// instead of the process dying.
-func (p *Shen) controller() {
-	defer close(p.done)
-	defer func() {
-		if r := recover(); r != nil {
-			p.stop.Store(true)
-			p.cycleMu.Lock()
-			p.cycleCond.Broadcast() // release waitForCycle waiters
-			p.cycleMu.Unlock()
-		}
-	}()
-	for !p.stop.Load() {
-		if !p.cycleDue() {
-			p.cycleMu.Lock()
-			if !p.wanted && !p.stop.Load() {
-				// Poll occupancy with a short sleep-free wait: re-check
-				// every few milliseconds via timed condition emulation.
-				p.cycleMu.Unlock()
-				time.Sleep(2 * time.Millisecond)
-			} else {
-				p.cycleMu.Unlock()
-			}
-			p.cycleMu.Lock()
-			w := p.wanted
-			p.cycleMu.Unlock()
-			if !w && !p.cycleDue() {
-				continue
-			}
-		}
-		p.runCycle()
-		p.cycleMu.Lock()
-		p.cycles++
-		p.wanted = false
-		p.cycleCond.Broadcast()
-		p.cycleMu.Unlock()
-	}
+// shenCycles is the collector's cycle driver for the shared conctrl
+// controller: it watches heap occupancy (via the controller's idle
+// poll) and runs mark → evacuate → update-references pipelines, pausing
+// briefly for init-mark, final-mark and final-update. A panic escaping
+// a cycle (e.g. a *gcwork.WorkerPanic re-raised by a loan's Reclaim) is
+// parked by the controller and OnStop releases the cycle rendezvous, so
+// stalled mutators fail their allocations and the workload records a
+// Failed data point instead of the process dying.
+type shenCycles struct{ p *Shen }
+
+// HasWork implements conctrl.CycleDriver: a cycle runs when occupancy
+// crosses the trigger or a stalled mutator (or CollectNow) requested
+// one.
+func (d *shenCycles) HasWork() bool {
+	return !d.p.stop.Load() && (d.p.wanted.Load() || d.p.cycleDue())
+}
+
+// Quantum implements conctrl.CycleDriver: one full collection cycle.
+// The width argument is ignored — cycles re-read the controller's width
+// at every trace advance, so a governor resize applies mid-cycle.
+func (d *shenCycles) Quantum(int) {
+	p := d.p
+	p.runCycle()
+	p.cycleMu.Lock()
+	p.cycles++
+	p.wanted.Store(false)
+	p.cycleCond.Broadcast()
+	p.cycleMu.Unlock()
+}
+
+// OnStop implements conctrl.StopNotifier: stop serving cycles and
+// release every mutator waiting on the cycle rendezvous.
+func (d *shenCycles) OnStop(failure any) {
+	p := d.p
+	p.stop.Store(true)
+	p.cycleMu.Lock()
+	p.cycleCond.Broadcast()
+	p.cycleMu.Unlock()
 }
 
 // cycleDue triggers a cycle when free memory falls under 30% of budget.
@@ -373,17 +379,21 @@ func (p *Shen) runCycle() {
 		p.recordPauseWorkerItems("init-mark")
 	})
 
-	// Concurrent mark. The cycle controller is the tracer's owner
-	// thread and also the only thread that initiates pauses, so loans
-	// taken here can never overlap a pause; no interrupt wiring is
-	// needed (unlike G1, whose pauses originate on mutator threads).
+	// Concurrent mark. The cycle driver is the tracer's owner thread
+	// and also the only thread that initiates pauses, so loans taken
+	// here can never overlap a pause; no interrupt wiring is needed
+	// (unlike G1, whose pauses originate on mutator threads). The
+	// quantum spans the whole cycle, so the governor is sampled here
+	// (Controller.Govern) and the width re-read at every advance —
+	// resizes genuinely take effect mid-cycle.
 	for {
 		t0 := time.Now()
 		for _, s := range p.satbIn.TakeSegs() {
 			p.tracer.Seed(refsOf(s))
 		}
+		p.ctl.Govern()
 		var idle bool
-		if k := p.concWorkers; k > 1 {
+		if k := p.ctl.Width(); k > 1 {
 			idle = p.tracer.StepParallel(p.pool, k, nil)
 		} else {
 			idle = p.tracer.Step(8192)
@@ -438,6 +448,7 @@ func (p *Shen) runCycle() {
 	evacAl := &immix.Allocator{BT: p.bt}
 	aborted := map[int]bool{}
 	for _, idx := range p.cset {
+		p.ctl.Govern()
 		t0 := time.Now()
 		start := mem.BlockStart(idx)
 		for g := 0; g < mem.GranulesPerBlock; g++ {
@@ -474,6 +485,7 @@ func (p *Shen) runCycle() {
 		if p.bt.HasFlag(idx, immix.FlagEvacuating) {
 			return
 		}
+		p.ctl.Govern()
 		t0 := time.Now()
 		p.updateBlockRefs(idx)
 		p.vm.Stats.AddConcurrentWork(time.Since(t0))

@@ -1,0 +1,357 @@
+// Package conctrl is the shared concurrent-collection control plane.
+//
+// Every concurrent collector in this repository used to carry its own
+// copy of the same driver machinery: one goroutine running bounded work
+// quanta, a quiesce/release handshake with stop-the-world pauses, a
+// published worker loan that pauses interrupt (gcwork.LoanRef), and
+// panic parking so a contained worker panic surfaces on the pause path
+// instead of killing the driver goroutine. LXR's concurrent thread,
+// G1's mark controller and Shenandoah's cycle controller each
+// duplicated that loop; this package owns it once, parameterised by a
+// per-collector CycleDriver that supplies only the collector-specific
+// work.
+//
+// On top of the controller sits the Governor: an adaptive loan-width
+// policy that sizes how many pool workers the concurrent phases borrow
+// between pauses, driven by a cheap windowed utilization estimator —
+// shrink the loans when mutators are CPU-starved, grow them when cores
+// sit idle — with an optional MMU-floor target, the way HotSpot sizes
+// its concurrent GC threads.
+package conctrl
+
+import (
+	"sync"
+	"time"
+
+	"lxr/internal/gcwork"
+	"lxr/internal/vm"
+)
+
+// CycleDriver supplies the collector-specific half of a concurrent
+// driver. The controller calls it from its own goroutine; all driver
+// state is therefore single-threaded except where pauses touch it, and
+// pauses may only do so between Quiesce and Release.
+type CycleDriver interface {
+	// HasWork reports whether a quantum would find anything to do. It
+	// is called with the controller's lock held and must be cheap and
+	// non-blocking (atomics and driver-owned state only).
+	HasWork() bool
+	// Quantum performs one bounded slice of concurrent work with the
+	// controller's lock released. width is the current borrow width
+	// (≥ 1): how many pool workers a loan taken inside this quantum
+	// should request. Loans must be published through the controller's
+	// LoanRef so pauses can interrupt them.
+	Quantum(width int)
+}
+
+// ReleaseNotifier is an optional CycleDriver extension: OnRelease runs
+// during Release, with the controller lock held, so drivers can reset
+// per-pause state (G1 clears its tracer-idle latch — pauses may have
+// seeded new trace work). It must not block.
+type ReleaseNotifier interface {
+	OnRelease()
+}
+
+// StopNotifier is an optional CycleDriver extension: OnStop runs once
+// when the controller goroutine exits — after Stop, or after a quantum
+// panic was parked. failure is the parked panic (nil on a clean stop).
+// Drivers use it to release collector-side waiters (Shenandoah wakes
+// mutators stalled on the cycle rendezvous so they fail cleanly instead
+// of hanging).
+type StopNotifier interface {
+	OnStop(failure any)
+}
+
+// Config parameterises a Controller.
+type Config struct {
+	// Stats, when non-nil, accrues each quantum's duration as
+	// concurrent collector work. Drivers whose quanta contain pauses or
+	// waiting (Shenandoah's full-cycle quantum) must pass nil and
+	// account their concurrent slices themselves.
+	Stats *vm.Stats
+	// Width is the static borrow width handed to Quantum when no
+	// Governor is installed (clamped to ≥ 1).
+	Width int
+	// Governor, when non-nil, drives the borrow width adaptively; Width
+	// is ignored. The controller samples Signals between quanta.
+	Governor *Governor
+	// Signals supplies the governor's cumulative feedback inputs
+	// (vm.VM implements it). Required when Governor is set.
+	Signals Signals
+	// Poll, when non-zero, makes an idle controller re-check HasWork on
+	// this period instead of sleeping until Kick — for drivers whose
+	// work condition is a heap-occupancy threshold no event announces
+	// (Shenandoah's cycle trigger).
+	Poll time.Duration
+}
+
+// Signals supplies the cumulative inputs the governor differences into
+// windows: total mutator busy time, total collector work, total
+// stop-the-world time, and the live mutator count.
+type Signals interface {
+	ConcSignals() (mutBusy, gcWork, pause time.Duration, mutators int)
+}
+
+// Controller runs a CycleDriver on a dedicated goroutine and owns the
+// machinery every concurrent collector driver needs:
+//
+//   - the quiesce/release handshake: Quiesce blocks until the driver is
+//     parked between quanta, so pause phases own all shared collector
+//     state; Release lets it resume.
+//   - the loan lifecycle: drivers publish outstanding worker loans in
+//     LoanRef(); Quiesce and Stop interrupt them so the handshake
+//     completes within one work item per borrowed worker.
+//   - panic parking: a panic escaping a quantum (typically a
+//     *gcwork.WorkerPanic re-raised by a loan's Reclaim) is parked and
+//     re-raised by the next Quiesce — on the pause path, a mutator
+//     goroutine protected by the workload guard — so driver failures
+//     become Failed data points exactly like in-pause ones.
+//   - the width plumbing: each quantum receives the current borrow
+//     width, static or governed.
+type Controller struct {
+	d   CycleDriver
+	cfg Config
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	yield bool // a pause wants the driver quiescent
+	quiet bool // the driver acknowledges quiescence
+	stopd bool
+
+	// loan publishes the outstanding worker loan so Quiesce/Stop can
+	// interrupt it without racing loan adoption.
+	loan gcwork.LoanRef
+
+	// failure holds a panic recovered from a quantum, guarded by mu,
+	// re-raised by the next Quiesce.
+	failure any
+
+	started bool
+	done    chan struct{}
+
+	// Governor sampling state (controller goroutine only).
+	epoch      time.Time
+	lastSample time.Time
+	prevMut    time.Duration
+	prevGC     time.Duration
+	prevPause  time.Duration
+}
+
+// NewController creates a controller around a driver. Call Start to
+// launch the goroutine.
+func NewController(d CycleDriver, cfg Config) *Controller {
+	if cfg.Width < 1 {
+		cfg.Width = 1
+	}
+	c := &Controller{d: d, cfg: cfg, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// LoanRef returns the controller's published-loan slot. Drivers Adopt
+// loans into it (so pauses can interrupt them) and Drop after Reclaim.
+func (c *Controller) LoanRef() *gcwork.LoanRef { return &c.loan }
+
+// Width returns the borrow width quanta should use right now: the
+// governor's current width, or the static configured width.
+func (c *Controller) Width() int {
+	if c.cfg.Governor != nil {
+		return c.cfg.Governor.Width()
+	}
+	return c.cfg.Width
+}
+
+// Governor returns the installed governor (nil when the width is
+// static).
+func (c *Controller) Governor() *Governor { return c.cfg.Governor }
+
+// Start launches the driver goroutine.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	c.started = true
+	c.epoch = time.Now()
+	c.lastSample = c.epoch
+	c.mu.Unlock()
+	go c.run()
+}
+
+// Stop terminates the driver goroutine and waits for it to exit. An
+// outstanding loan is interrupted. Safe to call more than once, or on a
+// controller that was never started.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	if !c.stopd {
+		c.stopd = true
+		c.loan.Interrupt()
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	<-c.done
+}
+
+// Quiesce blocks until the driver is parked between quanta. Called with
+// the world stopped, before pause phases touch collector state. An
+// outstanding worker loan is interrupted so the handshake completes
+// within one work item per borrowed worker. A panic the driver parked
+// since the last pause is re-raised here, on the caller's goroutine.
+func (c *Controller) Quiesce() {
+	c.mu.Lock()
+	c.yield = true
+	c.loan.Interrupt()
+	c.cond.Broadcast()
+	for !c.quiet {
+		c.cond.Wait()
+	}
+	f := c.failure
+	c.failure = nil
+	c.mu.Unlock()
+	if f != nil {
+		panic(f)
+	}
+}
+
+// Release lets the driver resume after a pause. The driver's OnRelease
+// hook (if any) runs first, under the controller lock.
+func (c *Controller) Release() {
+	c.mu.Lock()
+	c.yield = false
+	c.loan.Disarm()
+	if rn, ok := c.d.(ReleaseNotifier); ok {
+		rn.OnRelease()
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Kick wakes an idle controller so it re-evaluates HasWork — called
+// when work is submitted from outside a pause (Shenandoah's cycle
+// requests). Pauses do not need it: Release already wakes the driver.
+func (c *Controller) Kick() {
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// InjectFailure parks r as if a quantum had panicked, for the next
+// Quiesce to re-raise (test instrumentation for the panic-parking
+// contract).
+func (c *Controller) InjectFailure(r any) {
+	c.mu.Lock()
+	c.failure = r
+	c.mu.Unlock()
+}
+
+func (c *Controller) run() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for (c.yield || !c.d.HasWork()) && !c.stopd {
+			c.quiet = true
+			c.cond.Broadcast()
+			if c.cfg.Poll > 0 && !c.yield {
+				// Occupancy-polling driver: re-check HasWork on the
+				// poll period. quiet stays true across the sleep, so a
+				// (hypothetical) pause quiesces instantly.
+				c.mu.Unlock()
+				time.Sleep(c.cfg.Poll)
+				c.mu.Lock()
+				continue
+			}
+			c.cond.Wait()
+		}
+		if c.stopd {
+			c.quiet = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			c.notifyStop(nil)
+			return
+		}
+		c.quiet = false
+		c.mu.Unlock()
+
+		t0 := time.Now()
+		if !c.guardedQuantum() {
+			return
+		}
+		if c.cfg.Stats != nil {
+			c.cfg.Stats.AddConcurrentWork(time.Since(t0))
+		}
+		c.govern()
+	}
+}
+
+// guardedQuantum runs one quantum with panic containment: a recovered
+// panic is parked in c.failure for the next Quiesce to re-raise on the
+// pause path, the driver acknowledges permanent quiescence, OnStop
+// fires, and false terminates the controller goroutine. The collector
+// degrades to its in-pause processing paths.
+func (c *Controller) guardedQuantum() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.loan.Drop()
+			c.mu.Lock()
+			c.failure = r
+			c.quiet = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			c.notifyStop(r)
+			ok = false
+		}
+	}()
+	c.d.Quantum(c.Width())
+	return true
+}
+
+func (c *Controller) notifyStop(failure any) {
+	if sn, ok := c.d.(StopNotifier); ok {
+		sn.OnStop(failure)
+	}
+}
+
+// Govern lets a driver whose quantum is long-running sample the
+// governor mid-quantum — Shenandoah's quantum is a whole collection
+// cycle, so without this the width could only move between cycles. It
+// must be called from inside the driver's own Quantum (the controller
+// goroutine); it is a no-op until the governor's window has elapsed.
+func (c *Controller) Govern() { c.govern() }
+
+// govern feeds the governor one window when enough wall time has
+// accumulated since the last sample. Runs on the controller goroutine —
+// between quanta, and wherever a long-running quantum calls Govern;
+// while the driver is idle no loans run and the width does not matter.
+func (c *Controller) govern() {
+	g := c.cfg.Governor
+	if g == nil || c.cfg.Signals == nil {
+		return
+	}
+	now := time.Now()
+	wall := now.Sub(c.lastSample)
+	if wall < g.cfg.Window {
+		return
+	}
+	mut, gc, pause, muts := c.cfg.Signals.ConcSignals()
+	s := Sample{
+		Wall:        wall,
+		MutatorBusy: clampDur(mut - c.prevMut),
+		GCWork:      clampDur(gc - c.prevGC),
+		Pause:       clampDur(pause - c.prevPause),
+		Mutators:    muts,
+	}
+	c.lastSample = now
+	c.prevMut, c.prevGC, c.prevPause = mut, gc, pause
+	g.Observe(now.Sub(c.epoch), s)
+}
+
+// clampDur floors a windowed delta at zero: the busy estimator counts a
+// currently parked mutator as busy until its park is recorded, so a
+// window closing mid-park can observe a small negative delta.
+func clampDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,288 @@
+package conctrl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GovernorConfig parameterises the adaptive loan-width policy. Zero
+// values select defaults.
+type GovernorConfig struct {
+	// Min and Max bound the borrow width (defaults 1 and the GC thread
+	// count the caller passes — Max must be set by the caller).
+	Min, Max int
+	// Initial is the starting width (default: the collector's static
+	// ConcWorkers default, clamped into [Min, Max]).
+	Initial int
+	// MMUFloor, when non-zero, is the minimum windowed mutator
+	// utilization the governor targets (0 < floor < 1). A window whose
+	// achieved utilization falls under the floor votes grow: the pauses
+	// are absorbing catch-up work (interrupted decrement remainders,
+	// forced final marks) that better-resourced concurrent phases would
+	// have kept off the pause path; starving them further only
+	// lengthens the next pauses.
+	MMUFloor float64
+	// Window is the sampling period (default 2ms).
+	Window time.Duration
+	// GrowBelow is the total-CPU-load fraction under which cores are
+	// considered idle and the width may grow (default 0.70).
+	GrowBelow float64
+	// ShrinkAbove is the total-CPU-load fraction above which mutators
+	// are considered CPU-starved and the width shrinks (default 0.92).
+	ShrinkAbove float64
+	// MutDemand is the minimum per-mutator busy fraction required
+	// before a high load is blamed on mutator starvation (default
+	// 0.5): when the mutators themselves are mostly parked — an
+	// open-loop workload pacing its arrivals — a saturated machine is
+	// the collector's to use and no shrink is warranted.
+	MutDemand float64
+	// Settle is how many consecutive same-direction windows must agree
+	// before the width moves one step (default 3) — hysteresis so a
+	// single noisy window cannot flap the width.
+	Settle int
+	// Cores is the core count the load fraction is denominated in
+	// (default runtime.NumCPU). The default is deliberately the host's
+	// real parallelism, not the modelled machine's GOMAXPROCS: mutator
+	// busy time includes runnable-but-descheduled time, so on a host
+	// with fewer hardware threads than the modelled core count the
+	// GOMAXPROCS denominator would report idle cores that do not exist
+	// and grow loans straight into the mutators' only CPU.
+	Cores int
+}
+
+func (c GovernorConfig) withDefaults() GovernorConfig {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.GrowBelow == 0 {
+		c.GrowBelow = 0.70
+	}
+	if c.ShrinkAbove == 0 {
+		c.ShrinkAbove = 0.92
+	}
+	if c.MutDemand == 0 {
+		c.MutDemand = 0.5
+	}
+	if c.Settle <= 0 {
+		c.Settle = 3
+	}
+	if c.Cores <= 0 {
+		c.Cores = runtime.NumCPU()
+	}
+	return c
+}
+
+// Sample is one observation window of the feedback signals, already
+// differenced from the cumulative counters.
+type Sample struct {
+	Wall        time.Duration // window length
+	MutatorBusy time.Duration // mutator busy time inside the window
+	GCWork      time.Duration // collector work (STW + concurrent) inside the window
+	Pause       time.Duration // stop-the-world time inside the window
+	Mutators    int           // live mutator threads
+}
+
+// ResizeEvent records one width change.
+type ResizeEvent struct {
+	AtMS   float64 `json:"at_ms"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Reason string  `json:"reason"`
+	// Utilization is the windowed mutator utilization (1 − pause/wall)
+	// of the window that triggered the resize; Load is the total CPU
+	// demand fraction of that window.
+	Utilization float64 `json:"utilization"`
+	Load        float64 `json:"load"`
+}
+
+// WidthPoint is one point of the width trace.
+type WidthPoint struct {
+	AtMS  float64 `json:"at_ms"`
+	Width int     `json:"width"`
+}
+
+// Trace is a snapshot of everything the governor did during a run —
+// the harness archives it per run ("governor" in the -json output).
+type Trace struct {
+	MMUFloor   float64 `json:"mmu_floor,omitempty"`
+	MinWidth   int     `json:"min_width"`
+	MaxWidth   int     `json:"max_width"`
+	FinalWidth int     `json:"final_width"`
+	Samples    int64   `json:"samples"`
+	// AchievedMMU is the worst windowed utilization the governor's own
+	// estimator observed — over its actual sampling windows, which are
+	// irregular (samples land between quanta, or at a long quantum's
+	// Govern calls) and stretch across driver-idle stretches. It is the
+	// quantity the MMUFloor vote acts on, so floor and achievement are
+	// judged on identical windows; it is NOT comparable to the exact
+	// pause-timeline MMU curve in the same run record, which evaluates
+	// every fixed-size window and therefore bounds this value from
+	// below.
+	AchievedMMU float64       `json:"achieved_mmu"`
+	Widths      []WidthPoint  `json:"width_trace"`
+	Resizes     []ResizeEvent `json:"resize_events,omitempty"`
+}
+
+// NewCollectorGovernor builds the standard collector governor — width
+// in [1, poolWorkers] starting at initial, with an optional MMU-floor
+// target — so every plan derives its bounds the same way.
+func NewCollectorGovernor(poolWorkers, initial int, mmuFloor float64) *Governor {
+	return NewGovernor(GovernorConfig{
+		Min:      1,
+		Max:      poolWorkers,
+		Initial:  initial,
+		MMUFloor: mmuFloor,
+	})
+}
+
+// Governor adaptively sizes the between-pause borrow width from
+// observed mutator utilization. The policy per window:
+//
+//	util = 1 − pause/wall            (windowed mutator utilization)
+//	load = (mutBusy + gcWork)/(wall × cores)
+//	mutDemand = mutBusy/(wall × mutators)
+//
+//	util < MMUFloor (when set)                → vote grow  ("mmu-floor")
+//	load > ShrinkAbove && mutDemand ≥ MutDemand → vote shrink ("cpu-starved")
+//	load < GrowBelow                          → vote grow  ("cores-idle")
+//	otherwise                                 → reset votes
+//
+// Settle consecutive same-direction votes move the width one step,
+// clamped to [Min, Max]. Width reads are a single atomic load, so the
+// controller's Quantum dispatch takes no lock; Observe is called only
+// from the controller goroutine (and tests).
+type Governor struct {
+	cfg   GovernorConfig
+	width atomic.Int32
+
+	mu          sync.Mutex
+	samples     int64
+	growVotes   int
+	shrinkVotes int
+	minUtil     float64
+	events      []ResizeEvent
+	widths      []WidthPoint
+}
+
+// NewGovernor creates a governor; the width starts at cfg.Initial.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	cfg = cfg.withDefaults()
+	g := &Governor{cfg: cfg, minUtil: 1}
+	g.width.Store(int32(cfg.Initial))
+	g.widths = []WidthPoint{{AtMS: 0, Width: cfg.Initial}}
+	return g
+}
+
+// Width returns the current borrow width (lock-free).
+func (g *Governor) Width() int { return int(g.width.Load()) }
+
+// Observe feeds one window through the resize policy and returns the
+// (possibly new) width and whether it changed. at is the window's end
+// on the run timeline (for the width trace).
+func (g *Governor) Observe(at time.Duration, s Sample) (width int, changed bool) {
+	if s.Wall <= 0 {
+		return g.Width(), false
+	}
+	cores := g.cfg.Cores
+	util := 1 - float64(s.Pause)/float64(s.Wall)
+	if util < 0 {
+		util = 0
+	}
+	load := float64(s.MutatorBusy+s.GCWork) / (float64(s.Wall) * float64(cores))
+	mutDemand := 0.0
+	if s.Mutators > 0 {
+		mutDemand = float64(s.MutatorBusy) / (float64(s.Wall) * float64(s.Mutators))
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.samples++
+	if util < g.minUtil {
+		g.minUtil = util
+	}
+
+	dir, reason := 0, ""
+	switch {
+	case g.cfg.MMUFloor > 0 && util < g.cfg.MMUFloor:
+		dir, reason = +1, "mmu-floor"
+	case load > g.cfg.ShrinkAbove && mutDemand >= g.cfg.MutDemand:
+		dir, reason = -1, "cpu-starved"
+	case load < g.cfg.GrowBelow:
+		dir, reason = +1, "cores-idle"
+	}
+
+	switch dir {
+	case +1:
+		g.growVotes++
+		g.shrinkVotes = 0
+	case -1:
+		g.shrinkVotes++
+		g.growVotes = 0
+	default:
+		g.growVotes, g.shrinkVotes = 0, 0
+	}
+
+	from := int(g.width.Load())
+	to := from
+	switch {
+	case g.growVotes >= g.cfg.Settle:
+		to = from + 1
+		g.growVotes = 0
+	case g.shrinkVotes >= g.cfg.Settle:
+		to = from - 1
+		g.shrinkVotes = 0
+	default:
+		return from, false
+	}
+	if to < g.cfg.Min {
+		to = g.cfg.Min
+	}
+	if to > g.cfg.Max {
+		to = g.cfg.Max
+	}
+	if to == from {
+		return from, false
+	}
+	g.width.Store(int32(to))
+	atMS := float64(at) / float64(time.Millisecond)
+	g.events = append(g.events, ResizeEvent{
+		AtMS: atMS, From: from, To: to, Reason: reason,
+		Utilization: util, Load: load,
+	})
+	g.widths = append(g.widths, WidthPoint{AtMS: atMS, Width: to})
+	return to, true
+}
+
+// Trace snapshots the governor's run record.
+func (g *Governor) Trace() *Trace {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t := &Trace{
+		MMUFloor:    g.cfg.MMUFloor,
+		MinWidth:    g.cfg.Min,
+		MaxWidth:    g.cfg.Max,
+		FinalWidth:  int(g.width.Load()),
+		Samples:     g.samples,
+		AchievedMMU: g.minUtil,
+		Widths:      append([]WidthPoint(nil), g.widths...),
+		Resizes:     append([]ResizeEvent(nil), g.events...),
+	}
+	if g.samples == 0 {
+		t.AchievedMMU = 0 // never sampled: report 0, not a vacuous 1
+	}
+	return t
+}

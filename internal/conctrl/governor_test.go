@@ -1,0 +1,176 @@
+package conctrl
+
+import (
+	"testing"
+	"time"
+)
+
+// govCfg builds a deterministic governor: explicit cores so the host's
+// CPU count cannot influence the policy, settle 2 so traces stay short.
+func govCfg(mmuFloor float64) GovernorConfig {
+	return GovernorConfig{
+		Min: 1, Max: 8, Initial: 4,
+		MMUFloor: mmuFloor,
+		Settle:   2,
+		Cores:    8,
+		Window:   time.Millisecond,
+	}
+}
+
+// sample builds one window: fractions of the window spent as mutator
+// busy time, collector work and stop-the-world time.
+func sample(mutFrac, gcFrac, pauseFrac float64, mutators int) Sample {
+	const wall = 10 * time.Millisecond
+	return Sample{
+		Wall:        wall,
+		MutatorBusy: time.Duration(mutFrac * float64(wall)),
+		GCWork:      time.Duration(gcFrac * float64(wall)),
+		Pause:       time.Duration(pauseFrac * float64(wall)),
+		Mutators:    mutators,
+	}
+}
+
+// feed pushes n identical windows through the governor, advancing the
+// synthetic clock, and returns the final width.
+func feed(g *Governor, n int, s Sample) int {
+	w := g.Width()
+	for i := 0; i < n; i++ {
+		w, _ = g.Observe(time.Duration(i+1)*10*time.Millisecond, s)
+	}
+	return w
+}
+
+// TestGovernorGrowsWhenCoresIdle: low total load (cores idle) must grow
+// the width, one step per settled vote streak, up to Max.
+func TestGovernorGrowsWhenCoresIdle(t *testing.T) {
+	g := NewGovernor(govCfg(0))
+	// load = (0.5 + 0.5)/8 = 0.125 < 0.70 → grow every 2 windows.
+	if w := feed(g, 4, sample(0.5, 0.5, 0, 4)); w != 6 {
+		t.Fatalf("width %d after 4 idle windows, want 6", w)
+	}
+	if w := feed(g, 100, sample(0.5, 0.5, 0, 4)); w != 8 {
+		t.Fatalf("width %d, want clamp at Max=8", w)
+	}
+	tr := g.Trace()
+	if tr.FinalWidth != 8 || len(tr.Resizes) != 4 {
+		t.Fatalf("trace final=%d resizes=%d, want 8 and 4 (4→8 one step at a time)", tr.FinalWidth, len(tr.Resizes))
+	}
+	for _, e := range tr.Resizes {
+		if e.Reason != "cores-idle" {
+			t.Fatalf("resize reason %q, want cores-idle", e.Reason)
+		}
+	}
+	// Width trace = initial point + one point per resize.
+	if len(tr.Widths) != 1+len(tr.Resizes) {
+		t.Fatalf("width trace %d points, want %d", len(tr.Widths), 1+len(tr.Resizes))
+	}
+}
+
+// TestGovernorShrinksWhenStarved: saturated cores with genuinely busy
+// mutators must shrink the width down to Min.
+func TestGovernorShrinksWhenStarved(t *testing.T) {
+	g := NewGovernor(govCfg(0))
+	// load = (6 + 2)/8 = 1.0 > 0.92, mutDemand = 6/6 = 1.0 ≥ 0.5.
+	s := sample(6.0, 2.0, 0, 6)
+	if w := feed(g, 100, s); w != 1 {
+		t.Fatalf("width %d under sustained starvation, want Min=1", w)
+	}
+	for _, e := range g.Trace().Resizes {
+		if e.Reason != "cpu-starved" {
+			t.Fatalf("resize reason %q, want cpu-starved", e.Reason)
+		}
+	}
+}
+
+// TestGovernorHighLoadIdleMutatorsDoesNotShrink: a saturated machine
+// whose mutators are mostly parked (open-loop pacing) is the
+// collector's to use — no shrink. The load sits in the dead zone's
+// upper side with mutDemand below the blame threshold, so the width
+// must not move.
+func TestGovernorHighLoadIdleMutatorsDoesNotShrink(t *testing.T) {
+	g := NewGovernor(govCfg(0))
+	// load = (0.4 + 7.6)/8 = 1.0 but mutDemand = 0.4/4 = 0.1 < 0.5.
+	if w := feed(g, 100, sample(0.4, 7.6, 0, 4)); w != 4 {
+		t.Fatalf("width %d, want unchanged 4 (high load blamed on GC itself)", w)
+	}
+	if n := len(g.Trace().Resizes); n != 0 {
+		t.Fatalf("%d resizes, want none", n)
+	}
+}
+
+// TestGovernorMMUFloorVotesGrow: a violated MMU floor votes grow even
+// when the load alone would vote shrink.
+func TestGovernorMMUFloorVotesGrow(t *testing.T) {
+	g := NewGovernor(govCfg(0.9))
+	// util = 1 − 0.2 = 0.8 < floor 0.9 although load = 1.0 and
+	// mutDemand = 1.0 would otherwise shrink.
+	s := sample(6.0, 2.0, 0.2, 6)
+	if w := feed(g, 4, s); w != 6 {
+		t.Fatalf("width %d, want 6 (two mmu-floor grow steps)", w)
+	}
+	for _, e := range g.Trace().Resizes {
+		if e.Reason != "mmu-floor" {
+			t.Fatalf("resize reason %q, want mmu-floor", e.Reason)
+		}
+	}
+	// The same trace without the floor shrinks instead.
+	g2 := NewGovernor(govCfg(0))
+	if w := feed(g2, 4, s); w != 2 {
+		t.Fatalf("width %d without floor, want 2", w)
+	}
+}
+
+// TestGovernorHysteresis: alternating directions never settle, so the
+// width must not move.
+func TestGovernorHysteresis(t *testing.T) {
+	g := NewGovernor(govCfg(0))
+	idle := sample(0.5, 0.5, 0, 4)    // grow vote
+	starved := sample(6.0, 2.0, 0, 6) // shrink vote
+	for i := 0; i < 50; i++ {
+		s := idle
+		if i%2 == 1 {
+			s = starved
+		}
+		g.Observe(time.Duration(i+1)*10*time.Millisecond, s)
+	}
+	if w := g.Width(); w != 4 {
+		t.Fatalf("width %d under alternating votes, want unchanged 4", w)
+	}
+	// Neutral windows (dead zone) reset streaks too.
+	neutral := sample(3.0, 3.4, 0, 4) // load = 0.8: between 0.70 and 0.92
+	for i := 0; i < 3; i++ {
+		g.Observe(time.Hour, idle)
+		g.Observe(time.Hour, neutral)
+	}
+	if w := g.Width(); w != 4 {
+		t.Fatalf("width %d with neutral resets, want unchanged 4", w)
+	}
+}
+
+// TestGovernorAchievedMMU: the trace's achieved MMU is the worst
+// windowed utilization observed.
+func TestGovernorAchievedMMU(t *testing.T) {
+	g := NewGovernor(govCfg(0))
+	g.Observe(time.Millisecond, sample(1, 0, 0.05, 1))
+	g.Observe(2*time.Millisecond, sample(1, 0, 0.40, 1))
+	g.Observe(3*time.Millisecond, sample(1, 0, 0.10, 1))
+	tr := g.Trace()
+	if tr.Samples != 3 {
+		t.Fatalf("samples %d, want 3", tr.Samples)
+	}
+	if got, want := tr.AchievedMMU, 0.60; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("achieved MMU %v, want %v", got, want)
+	}
+}
+
+// TestGovernorNoSamples: an unsampled governor reports 0 achieved MMU
+// (not a vacuous 1) and only the initial width point.
+func TestGovernorNoSamples(t *testing.T) {
+	tr := NewGovernor(govCfg(0)).Trace()
+	if tr.AchievedMMU != 0 || tr.Samples != 0 {
+		t.Fatalf("empty trace achievedMMU=%v samples=%d", tr.AchievedMMU, tr.Samples)
+	}
+	if len(tr.Widths) != 1 || tr.Widths[0].Width != 4 {
+		t.Fatalf("empty width trace %v, want the initial point", tr.Widths)
+	}
+}

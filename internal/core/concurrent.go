@@ -1,9 +1,7 @@
 package core
 
 import (
-	"sync"
-	"time"
-
+	"lxr/internal/conctrl"
 	"lxr/internal/gcwork"
 	"lxr/internal/mem"
 	"lxr/internal/obj"
@@ -12,52 +10,39 @@ import (
 // concurrent is LXR's concurrent collection driver (Fig. 2). It
 // processes lazy decrements with priority, then sweeps blocks touched by
 // decrements and releases quarantined evacuation sources, then advances
-// the SATB trace. It quiesces at every stop-the-world pause so pause
-// phases own all shared collector state.
+// the SATB trace.
 //
-// The driver itself is one goroutine, but its work quanta are parallel:
-// when Config.ConcWorkers > 1 it borrows that many idle gcwork workers
-// (Pool.Lend) for each decrement drain and trace advance, and hands
-// them back (Loan.Reclaim) before parking. A pause that arrives while a
-// loan is outstanding interrupts it via quiesce: the borrowed workers
-// stop within one work item, the unprocessed remainder flows back into
-// pendingDecs or the tracer inbox, and the quiescence handshake — plus
-// the pool's own dispatch lock — guarantees the pause never overlaps a
-// loan.
+// The goroutine, the quiesce/release handshake with pauses, loan
+// interruption and panic parking all live in the shared
+// conctrl.Controller; this type is its CycleDriver — it owns only LXR's
+// work state and the quantum logic. Work quanta are parallel: when the
+// borrow width is above 1 the driver borrows that many idle gcwork
+// workers (Pool.Lend) for each decrement drain and trace advance. A
+// pause that arrives while a loan is outstanding interrupts it through
+// the controller: the borrowed workers stop within one work item and
+// the unprocessed remainder stays on the interrupted loan, where the
+// pause resumes it across all workers (Loan.ResumeInPause) or the next
+// quantum folds it into a fresh loan.
 type concurrent struct {
-	p *LXR
-
-	mu    sync.Mutex
-	cond  *sync.Cond
-	yield bool // a pause wants the thread quiescent
-	quiet bool // the thread acknowledges quiescence
-	stopd bool
-	wake  bool // work was submitted
-
-	// loanRef publishes the outstanding worker loan so quiesce and stop
-	// can interrupt it (and so an interrupt that races loan adoption is
-	// not lost).
-	loanRef gcwork.LoanRef
-
-	// failure holds a panic recovered from a work quantum (typically a
-	// *gcwork.WorkerPanic from a loaned worker), guarded by mu. It is
-	// re-raised by the next quiesce — which runs on the pause path, a
-	// mutator goroutine protected by workload.runGuard — so loan-path
-	// panics become Failed data points exactly like in-pause ones. The
-	// driver goroutine exits after recording a failure; the collector
-	// degrades to in-pause decrement/trace processing.
-	failure any
+	p   *LXR
+	ctl *conctrl.Controller
 
 	// Mutator-overflow inboxes (also drained at pauses).
 	decs gcwork.SharedAddrQueue
 	mods gcwork.SharedAddrQueue
 
-	// State owned by the thread (pauses may touch it only while the
-	// thread is quiescent).
+	// State owned by the driver (pauses may touch it only while the
+	// driver is quiescent).
 	pendingDecs []mem.Address
 	recStack    []mem.Address
 	touched     map[int]struct{}
 	evacBlocks  []int // quarantined evacuation sources awaiting dec drain
+
+	// intr retains an interrupted decrement loan: its unprocessed
+	// remainder is either resumed across all pause workers
+	// (processDecWork → Loan.ResumeInPause) or folded segment-granular
+	// into the next quantum's loan — never flattened into a copy.
+	intr *gcwork.Loan
 
 	// reclaimable collects blocks whose decrement-freed lines become
 	// available at the next pause. Releasing them concurrently would
@@ -65,8 +50,6 @@ type concurrent struct {
 	// (whose increments arrive only at the pause) still look free in
 	// the RC table.
 	reclaimable []int
-
-	done chan struct{}
 }
 
 const (
@@ -75,55 +58,35 @@ const (
 )
 
 func newConcurrent(p *LXR) *concurrent {
-	c := &concurrent{p: p, touched: map[int]struct{}{}, done: make(chan struct{})}
-	c.cond = sync.NewCond(&c.mu)
-	return c
+	return &concurrent{p: p, touched: map[int]struct{}{}}
 }
 
-func (c *concurrent) start() { go c.run() }
-
-func (c *concurrent) stop() {
-	c.mu.Lock()
-	c.stopd = true
-	c.loanRef.Interrupt()
-	c.cond.Broadcast()
-	c.mu.Unlock()
-	<-c.done
-}
-
-// quiesce blocks until the thread is parked between work quanta. Called
-// with the world stopped, before pause phases touch collector state. An
-// outstanding worker loan is interrupted so the handshake completes
-// within one work item per borrowed worker. A panic the driver
-// recovered since the last pause is re-raised here, on the pause's
-// (guarded) goroutine.
-func (c *concurrent) quiesce() {
-	c.mu.Lock()
-	c.yield = true
-	c.loanRef.Interrupt()
-	c.cond.Broadcast()
-	for !c.quiet {
-		c.cond.Wait()
+// start builds the shared controller (with the adaptive governor when
+// configured) and launches the driver goroutine. Called from Boot, once
+// the VM exists.
+func (c *concurrent) start() {
+	cfg := conctrl.Config{
+		Stats:   c.p.vm.Stats,
+		Width:   c.p.cfg.ConcWorkers,
+		Signals: c.p.vm,
 	}
-	f := c.failure
-	c.failure = nil
-	c.mu.Unlock()
-	if f != nil {
-		panic(f)
+	if c.p.cfg.AdaptiveConc {
+		cfg.Governor = conctrl.NewCollectorGovernor(c.p.pool.N, c.p.cfg.ConcWorkers, c.p.cfg.MMUFloor)
 	}
+	c.ctl = conctrl.NewController(c, cfg)
+	c.ctl.Start()
 }
 
-// release lets the thread resume after a pause.
-func (c *concurrent) release() {
-	c.mu.Lock()
-	c.yield = false
-	c.wake = true
-	c.loanRef.Disarm()
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
+func (c *concurrent) stop() { c.ctl.Stop() }
 
-// submitDecs hands a pause's decrement batch to the thread. Must be
+// quiesce blocks until the driver is parked between work quanta. Called
+// with the world stopped, before pause phases touch collector state.
+func (c *concurrent) quiesce() { c.ctl.Quiesce() }
+
+// release lets the driver resume after a pause.
+func (c *concurrent) release() { c.ctl.Release() }
+
+// submitDecs hands a pause's decrement batch to the driver. Must be
 // called while quiescent.
 func (c *concurrent) submitDecs(decs []mem.Address) {
 	c.pendingDecs = append(c.pendingDecs, decs...)
@@ -158,87 +121,62 @@ func (c *concurrent) releaseReclaimable() {
 }
 
 // hasPendingDecs reports whether the previous epoch's decrements are
-// still unprocessed. Must be called while quiescent.
+// still unprocessed — as a flat batch, a recursion stack, or the
+// remainder of an interrupted loan. Must be called while quiescent.
 func (c *concurrent) hasPendingDecs() bool {
-	return len(c.pendingDecs) > 0 || len(c.recStack) > 0
+	if len(c.pendingDecs) > 0 || len(c.recStack) > 0 {
+		return true
+	}
+	return c.intr != nil && c.intr.HasRemainder()
 }
 
-// takePendingDecs removes the unprocessed decrements so the pause can
-// finish them. Must be called while quiescent.
-func (c *concurrent) takePendingDecs() []mem.Address {
-	out := append(c.pendingDecs, c.recStack...)
-	c.pendingDecs, c.recStack = nil, nil
+// takePending removes the unprocessed decrement work so the pause can
+// finish it: the interrupted loan (whose remainder the pause resumes
+// directly across all workers), any flat segments, and the blocks
+// already touched by partially completed batches (released by the pause
+// after it finishes the drain). Must be called while quiescent.
+func (c *concurrent) takePending() (intr *gcwork.Loan, segs [][]mem.Address, touched []int) {
+	intr, c.intr = c.intr, nil
+	if len(c.pendingDecs) > 0 {
+		segs = append(segs, c.pendingDecs)
+		c.pendingDecs = nil
+	}
+	if len(c.recStack) > 0 {
+		segs = append(segs, c.recStack)
+		c.recStack = nil
+	}
 	for b := range c.touched {
+		touched = append(touched, b)
 		delete(c.touched, b)
 	}
-	return out
+	return intr, segs, touched
 }
 
-func (c *concurrent) run() {
-	defer close(c.done)
-	for {
-		c.mu.Lock()
-		for (c.yield || !c.hasWorkLocked()) && !c.stopd {
-			c.quiet = true
-			c.cond.Broadcast()
-			c.cond.Wait()
-		}
-		if c.stopd {
-			c.quiet = true
-			c.cond.Broadcast()
-			c.mu.Unlock()
-			return
-		}
-		c.quiet = false
-		c.wake = false
-		c.mu.Unlock()
-
-		t0 := time.Now()
-		if !c.guardedQuantum() {
-			return
-		}
-		c.p.vm.Stats.AddConcurrentWork(time.Since(t0))
-	}
-}
-
-// guardedQuantum runs one quantum with panic containment: a recovered
-// panic is parked in c.failure for the next quiesce to re-raise on the
-// pause path, the driver acknowledges permanent quiescence, and false
-// is returned to terminate the driver goroutine.
-func (c *concurrent) guardedQuantum() (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			c.loanRef.Drop()
-			c.mu.Lock()
-			c.failure = r
-			c.quiet = true
-			c.cond.Broadcast()
-			c.mu.Unlock()
-			ok = false
-		}
-	}()
-	c.quantum()
-	return true
-}
-
-func (c *concurrent) hasWorkLocked() bool {
+// HasWork implements conctrl.CycleDriver. Called with the controller
+// lock held; reads only driver-owned state and atomics.
+func (c *concurrent) HasWork() bool {
 	if len(c.pendingDecs) > 0 || len(c.recStack) > 0 || len(c.touched) > 0 {
+		return true
+	}
+	if c.intr != nil && c.intr.HasRemainder() {
 		return true
 	}
 	return c.p.satbActive.Load() && c.p.tracer.Pending()
 }
 
-// quantum performs one bounded slice of concurrent work, highest
-// priority first: decrements, then deferred sweeping, then the trace.
-// With ConcWorkers > 1 the decrement and trace slices run on borrowed
-// pool workers; a slice then lasts until the work is exhausted or a
-// pause interrupts the loan, whichever comes first.
-func (c *concurrent) quantum() {
+// Quantum implements conctrl.CycleDriver: one bounded slice of
+// concurrent work, highest priority first — decrements, then deferred
+// sweeping, then the trace. With width > 1 the decrement and trace
+// slices run on borrowed pool workers; a slice then lasts until the
+// work is exhausted or a pause interrupts the loan, whichever comes
+// first.
+func (c *concurrent) Quantum(width int) {
 	p := c.p
 	switch {
-	case len(c.recStack) > 0 || len(c.pendingDecs) > 0:
-		if k := p.cfg.ConcWorkers; k > 1 {
-			c.drainDecsParallel(k)
+	case len(c.recStack) > 0 || len(c.pendingDecs) > 0 ||
+		(c.intr != nil && c.intr.HasRemainder()):
+		if width > 1 {
+			c.drainDecsParallel(width)
 		} else {
 			c.drainDecsInline()
 		}
@@ -253,9 +191,9 @@ func (c *concurrent) quantum() {
 		}
 	default:
 		if p.satbActive.Load() {
-			if k := p.cfg.ConcWorkers; k > 1 {
-				p.tracer.StepParallel(p.pool, k, c.loanRef.Adopt)
-				c.loanRef.Drop()
+			if width > 1 {
+				p.tracer.StepParallel(p.pool, width, c.ctl.LoanRef().Adopt)
+				c.ctl.LoanRef().Drop()
 			} else {
 				p.tracer.Step(traceChunk)
 			}
@@ -264,9 +202,17 @@ func (c *concurrent) quantum() {
 }
 
 // drainDecsInline is the classic single-threaded decrement slice: up to
-// decChunk decrements applied on the driver goroutine itself.
+// decChunk decrements applied on the driver goroutine itself. An
+// interrupted loan's remainder (left over from a wider configuration)
+// is folded back into the flat batch first.
 func (c *concurrent) drainDecsInline() {
 	p := c.p
+	if c.intr != nil {
+		for _, s := range c.intr.TakeRemainder() {
+			c.pendingDecs = append(c.pendingDecs, s...)
+		}
+		c.intr = nil
+	}
 	for i := 0; i < decChunk; i++ {
 		var ref obj.Ref
 		if n := len(c.recStack); n > 0 {
@@ -285,14 +231,20 @@ func (c *concurrent) drainDecsInline() {
 }
 
 // drainDecsParallel drains the whole pending decrement batch — and its
-// recursive closure — on k borrowed pool workers. Each worker records
-// touched blocks in its own slot of a per-worker array (worker IDs are
-// stable), merged lock-free after the loan is reclaimed. If a pause
-// interrupts the loan, the unprocessed remainder returns to
-// pendingDecs, exactly as if the slice had been smaller.
+// recursive closure — on k borrowed pool workers. Seed segments pass to
+// the scheduler as-is: the flat batch, the recursion stack, and any
+// interrupted predecessor's remainder, none of them flattened together.
+// Each worker records touched blocks in its own slot of a per-worker
+// array (worker IDs are stable), merged lock-free after the loan is
+// reclaimed. If a pause interrupts the loan, the remainder stays on the
+// loan for the pause (or the next quantum) to resume.
 func (c *concurrent) drainDecsParallel(k int) {
 	p := c.p
 	var segs [][]mem.Address
+	if c.intr != nil {
+		segs = append(segs, c.intr.TakeRemainder()...)
+		c.intr = nil
+	}
 	if len(c.pendingDecs) > 0 {
 		segs = append(segs, c.pendingDecs)
 		c.pendingDecs = nil
@@ -301,25 +253,13 @@ func (c *concurrent) drainDecsParallel(k int) {
 		segs = append(segs, c.recStack)
 		c.recStack = nil
 	}
-	perWorker := make([]map[int]struct{}, p.pool.N)
-	loan := p.pool.Lend(k, segs,
-		func(w *gcwork.Worker) {
-			m := map[int]struct{}{}
-			perWorker[w.ID] = m
-			w.Scratch = m
-		},
-		func(w *gcwork.Worker, a mem.Address) {
-			local := w.Scratch.(map[int]struct{})
-			p.applyDec(w.ID+1, obj.Ref(a),
-				func(child obj.Ref) { w.Push(child) },
-				func(b int) { local[b] = struct{}{} })
-		},
-		nil)
-	c.loanRef.Adopt(loan)
-	rem := loan.Reclaim()
-	c.loanRef.Drop()
-	for _, s := range rem {
-		c.pendingDecs = append(c.pendingDecs, s...)
+	perWorker, setup, f := p.decDrainFuncs()
+	loan := p.pool.Lend(k, segs, setup, f, nil)
+	c.ctl.LoanRef().Adopt(loan)
+	loan.Reclaim()
+	c.ctl.LoanRef().Drop()
+	if loan.HasRemainder() {
+		c.intr = loan
 	}
 	for _, m := range perWorker {
 		for b := range m {

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lxr/internal/conctrl"
 	"lxr/internal/gcwork"
 	"lxr/internal/immix"
 	"lxr/internal/mem"
@@ -38,8 +39,23 @@ type Config struct {
 	// phases borrow between pauses (gcwork.Pool.Lend) to drain lazy
 	// decrements and advance the SATB trace in parallel. 1 selects the
 	// classic single-threaded concurrent quantum loop. Default: half
-	// of GCThreads, minimum 1; clamped to GCThreads.
+	// of GCThreads, minimum 1; clamped to GCThreads. With AdaptiveConc
+	// it is only the governor's starting width.
 	ConcWorkers int
+	// AdaptiveConc drives the borrow width adaptively (conctrl
+	// governor): loans shrink when mutators are CPU-starved and grow
+	// when cores sit idle, sized from a windowed utilization estimator
+	// over the VM's sharded statistics — the way HotSpot sizes its
+	// concurrent GC threads. ConcWorkers becomes the initial width;
+	// the width ranges over [1, GCThreads].
+	AdaptiveConc bool
+	// MMUFloor, with AdaptiveConc, is an optional minimum-mutator-
+	// utilization target (0 < floor < 1): windows whose achieved
+	// utilization falls under the floor vote the width up, on the
+	// theory that pause-side catch-up work means the concurrent phases
+	// are under-resourced. 0 disables the floor (pure utilization
+	// policy).
+	MMUFloor float64
 	// SurvivalThresholdBytes is the RC trigger's expected-survivor
 	// bound per epoch (the paper uses 128 MB on multi-GB heaps; default
 	// here scales with the heap: HeapBytes/8, capped at 128 MB).
@@ -320,8 +336,21 @@ func (p *LXR) GCWorkerStats() []gcwork.WorkerStat { return p.pool.WorkerStats() 
 // many work items they processed (harness telemetry).
 func (p *LXR) GCLoanStats() (loans, items int64) { return p.pool.LoanStats() }
 
-// ConcWorkers reports the configured between-pause borrow width.
+// ConcWorkers reports the configured between-pause borrow width (the
+// governor's initial width when adaptive).
 func (p *LXR) ConcWorkers() int { return p.cfg.ConcWorkers }
+
+// GovernorTrace returns the adaptive-width governor's run record, or
+// nil when the borrow width is static (harness telemetry).
+func (p *LXR) GovernorTrace() *conctrl.Trace {
+	if p.conc.ctl == nil {
+		return nil
+	}
+	if g := p.conc.ctl.Governor(); g != nil {
+		return g.Trace()
+	}
+	return nil
+}
 
 // recomputeAllocLimit derives the allocation volume at which the
 // survival-rate trigger fires: the predictor turns "bound expected

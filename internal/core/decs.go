@@ -61,30 +61,61 @@ func (p *LXR) applyDec(shard int, ref obj.Ref, pushRec func(obj.Ref), record fun
 	}
 }
 
+// decDrainFuncs builds the worker callbacks every parallel decrement
+// drain shares — the between-pause loans, the in-pause resumption of an
+// interrupted loan, and the -LD ablation's full in-pause drain. Each
+// worker records touched blocks in its own slot of a per-worker result
+// array (worker IDs are stable across the pool's lifetime) so the merge
+// needs no lock; setup is re-entrant so one perWorker array can span
+// several dispatches of the same logical drain.
+func (p *LXR) decDrainFuncs() (perWorker []map[int]struct{}, setup func(*gcwork.Worker), f func(*gcwork.Worker, mem.Address)) {
+	perWorker = make([]map[int]struct{}, p.pool.N)
+	setup = func(w *gcwork.Worker) {
+		m := perWorker[w.ID]
+		if m == nil {
+			m = map[int]struct{}{}
+			perWorker[w.ID] = m
+		}
+		w.Scratch = m
+	}
+	f = func(w *gcwork.Worker, a mem.Address) {
+		local := w.Scratch.(map[int]struct{})
+		p.applyDec(w.ID+1, obj.Ref(a),
+			func(c obj.Ref) { w.Push(c) },
+			func(b int) { local[b] = struct{}{} })
+	}
+	return perWorker, setup, f
+}
+
 // processDecsInPause drains a decrement batch with the parallel worker
-// pool (used by the -LD ablation and when a pause catches unfinished
-// lazy decrements). Each worker records touched blocks in its own slot
-// of a per-worker result array — worker IDs are stable across the
-// pool's lifetime — so the merge needs no lock.
+// pool (used by the -LD ablation, where every pause drains its own
+// batch).
 func (p *LXR) processDecsInPause(decs []mem.Address) {
 	if len(decs) == 0 {
 		return
 	}
-	perWorker := make([]map[int]struct{}, p.pool.N)
-	p.pool.Drain(decs,
-		func(w *gcwork.Worker) {
-			m := map[int]struct{}{}
-			perWorker[w.ID] = m
-			w.Scratch = m
-		},
-		func(w *gcwork.Worker, a mem.Address) {
-			local := w.Scratch.(map[int]struct{})
-			p.applyDec(w.ID+1, obj.Ref(a),
-				func(c obj.Ref) { w.Push(c) },
-				func(b int) { local[b] = struct{}{} })
-		},
-		nil)
+	p.processDecWork(nil, [][]mem.Address{decs}, nil)
+}
+
+// processDecWork finishes decrement work inside a pause. An interrupted
+// loan's remainder is resumed segment-granular across all N pause
+// workers (Loan.ResumeInPause seeds DrainSegs directly — the loan-aware
+// pause path, no re-chunking through a flat copy), then any remaining
+// flat segments drain the same way. seedTouched carries blocks the
+// concurrent driver's partially completed batches had already touched;
+// they are released here together with the blocks this drain touches.
+func (p *LXR) processDecWork(intr *gcwork.Loan, segs [][]mem.Address, seedTouched []int) {
+	perWorker, setup, f := p.decDrainFuncs()
+	if intr != nil {
+		intr.ResumeInPause(setup, f, nil)
+	}
+	if len(segs) > 0 {
+		p.pool.DrainSegs(segs, setup, f, nil)
+	}
 	touched := map[int]struct{}{}
+	for _, b := range seedTouched {
+		touched[b] = struct{}{}
+	}
 	for _, m := range perWorker {
 		for b := range m {
 			touched[b] = struct{}{}

@@ -100,11 +100,15 @@ func (p *LXR) pausePipeline(cause string) string {
 
 	// 2. Finish unfinished lazy decrements first (§3.2.1): if the
 	// previous epoch's decrements have not drained, the pause completes
-	// them before anything else.
+	// them before anything else. An interrupted loan's remainder is
+	// resumed directly across all pause workers (Loan.ResumeInPause) —
+	// the concurrent drain continues at full width rather than being
+	// re-chunked through a flat batch.
 	if p.conc.hasPendingDecs() {
 		st.Add(CtrPausesLazy, 1)
 		hadDec = true
-		p.processDecsInPause(p.conc.takePendingDecs())
+		intr, segs, touched := p.conc.takePending()
+		p.processDecWork(intr, segs, touched)
 	}
 
 	// 3. SATB seeding and (maybe) completion. decSeeds are the

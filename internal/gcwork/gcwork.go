@@ -664,7 +664,13 @@ type Loan struct {
 
 	reclaimed bool
 	noop      bool
-	rem       [][]mem.Address // remainder for no-op loans (stopped pool)
+	// rem is the unprocessed remainder: seeded at Lend for no-op loans
+	// (stopped pool), harvested by Reclaim otherwise. It is retained on
+	// the loan so an interrupted loan's work can be resumed — across
+	// all pause workers via ResumeInPause, or folded into the driver's
+	// next loan via TakeRemainder — without re-chunking through a flat
+	// copy.
+	rem [][]mem.Address
 }
 
 // Lend borrows up to n parked workers (clamped to the pool size) and
@@ -773,6 +779,11 @@ func (r *LoanRef) Disarm() {
 // unless the loan was interrupted). It must be called exactly once, on
 // the goroutine that called Lend or one synchronised with it. A worker
 // panic during the loan is re-raised here wrapped in *WorkerPanic.
+//
+// The remainder is also retained on the loan, for HasRemainder,
+// TakeRemainder and ResumeInPause. A caller must either consume the
+// returned segments or leave them for those accessors — not both, or
+// the work would be processed twice.
 func (l *Loan) Reclaim() [][]mem.Address {
 	if l.noop {
 		return l.rem
@@ -782,10 +793,47 @@ func (l *Loan) Reclaim() [][]mem.Address {
 	}
 	l.reclaimed = true
 	l.jb.wg.Wait()
-	rem := l.p.scavenge()
+	l.rem = l.p.scavenge()
 	l.p.runMu.Unlock()
 	if v, stack := l.jb.takePanic(); v != nil {
 		panic(&WorkerPanic{Value: v, Stack: stack})
 	}
+	return l.rem
+}
+
+// HasRemainder reports whether the reclaimed loan retains unprocessed
+// work.
+func (l *Loan) HasRemainder() bool {
+	for _, s := range l.rem {
+		if len(s) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TakeRemainder removes and returns the retained remainder, so a driver
+// can fold an interrupted loan's unfinished work — segment-granular —
+// into its next loan.
+func (l *Loan) TakeRemainder() [][]mem.Address {
+	rem := l.rem
+	l.rem = nil
 	return rem
+}
+
+// ResumeInPause re-dispatches an interrupted loan's remainder across
+// ALL of the pool's workers as a pause phase: the retained segments
+// seed DrainSegs directly, so the pause finishes the loan's work at
+// full parallel width without re-chunking it through an intermediate
+// flat batch. Must be called after Reclaim, with the world stopped and
+// the lending driver quiescent (the pool's dispatch lock is free —
+// Reclaim released it). Returns whether any work was dispatched; a loan
+// on a stopped pool resumes nothing (the remainder is dropped, as at
+// shutdown).
+func (l *Loan) ResumeInPause(setup func(w *Worker), f func(w *Worker, a mem.Address), teardown func(w *Worker)) bool {
+	if l.noop || !l.HasRemainder() {
+		return false
+	}
+	l.p.DrainSegs(l.TakeRemainder(), setup, f, teardown)
+	return true
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"lxr/internal/harness"
 	"lxr/internal/workload"
@@ -170,5 +171,69 @@ func TestRecordHookAndSummaryJSON(t *testing.T) {
 	}
 	if len(back) != 1 || back[0].Bench != "fop" {
 		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+}
+
+// TestRunOneAdaptiveGovernorAndIntervals: with Adaptive and Interval
+// set, a request run must archive a governor trace (width trace with
+// the initial point, bounds honoured) and at least one interval report
+// whose windows partition the run.
+func TestRunOneAdaptiveGovernorAndIntervals(t *testing.T) {
+	spec, _ := workload.ByName("lusearch")
+	opts := quickOpts(&bytes.Buffer{})
+	opts.Adaptive = true
+	opts.MMUFloor = 0.3
+	opts.Interval = 10 * time.Millisecond
+	rate := harness.CalibrateRate(spec, opts)
+	r := harness.RunOne(spec, harness.CLXR, 2, rate, opts)
+	if !r.OK {
+		t.Fatal("adaptive run failed")
+	}
+	g := r.Governor
+	if g == nil {
+		t.Fatal("adaptive run recorded no governor trace")
+	}
+	if g.MMUFloor != 0.3 {
+		t.Fatalf("governor floor %v, want 0.3", g.MMUFloor)
+	}
+	if len(g.Widths) == 0 || g.FinalWidth < g.MinWidth || g.FinalWidth > g.MaxWidth {
+		t.Fatalf("bad governor trace: %+v", g)
+	}
+	if len(r.Intervals) == 0 {
+		t.Fatal("no interval reports")
+	}
+	var pauses, requests int64
+	for i, w := range r.Intervals {
+		if w.Index != i {
+			t.Fatalf("interval %d has index %d", i, w.Index)
+		}
+		if i > 0 && w.StartMS != r.Intervals[i-1].EndMS {
+			t.Fatalf("interval %d does not start where %d ended", i, i-1)
+		}
+		pauses += w.Pauses
+		requests += w.Requests
+	}
+	// The windows partition the run: summed window counts can not
+	// exceed the whole-run totals (the reporter stops after the
+	// workload, so they match exactly for requests).
+	if requests != r.Latency.Count() {
+		t.Fatalf("interval requests sum %d, whole-run %d", requests, r.Latency.Count())
+	}
+	if pauses > int64(len(r.Pauses)) {
+		t.Fatalf("interval pauses sum %d exceeds whole-run %d", pauses, len(r.Pauses))
+	}
+	// The governor rides into the JSON summary.
+	s := r.Summary()
+	if s.Governor == nil || len(s.Intervals) != len(r.Intervals) {
+		t.Fatal("summary dropped governor or intervals")
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"width_trace", "achieved_mmu", "intervals"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("summary JSON missing %q", want)
+		}
 	}
 }

@@ -8,7 +8,11 @@ import (
 )
 
 // DefaultHeapFactors is the heap-factor grid RunHeapSensitivity sweeps.
-var DefaultHeapFactors = []float64{1.3, 1.7, 2, 3, 4, 6, 10}
+// The 8× point exists to bracket ZGC's recovery: at default scale it is
+// the first factor besides 10× whose heap clears ZGC's 40 MB minimum,
+// so without it the sweep cannot distinguish "recovers at 10×" from
+// "recovers as soon as the minimum heap admits it".
+var DefaultHeapFactors = []float64{1.3, 1.7, 2, 3, 4, 6, 8, 10}
 
 // RunHeapSensitivity sweeps the heap factor on lusearch for the four
 // concurrent collectors under the metered request load. Shenandoah and

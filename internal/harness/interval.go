@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lxr/internal/telemetry"
+	"lxr/internal/vm"
+)
+
+// IntervalReport digests one reporting window of a run: the pause and
+// request-latency distributions of just that window, obtained by
+// differencing successive cumulative histogram snapshots
+// (telemetry.Subtract). A sequence of windows exposes drift within a
+// run — warmup vs steady state, heap-shape transitions — that the
+// whole-run percentiles average away.
+type IntervalReport struct {
+	Index   int     `json:"index"`
+	StartMS float64 `json:"start_ms"`
+	EndMS   float64 `json:"end_ms"`
+
+	// Pauses and PauseMS cover the stop-the-world pauses that ended in
+	// this window (all phase kinds merged).
+	Pauses  int64        `json:"pauses"`
+	PauseMS *PhaseDigest `json:"pause_ms,omitempty"`
+
+	// Requests and LatencyMS cover the requests completed in this
+	// window (request workloads only).
+	Requests  int64        `json:"requests,omitempty"`
+	LatencyMS *PhaseDigest `json:"latency_ms,omitempty"`
+}
+
+// intervalReporter periodically snapshots a run's merged histograms and
+// subtracts the previous snapshot to produce per-window digests. It
+// runs on its own goroutine beside the workload; Stats snapshots and
+// Recorder snapshots are both safe against concurrent writers.
+type intervalReporter struct {
+	every time.Duration
+	stats *vm.Stats
+	lat   *telemetry.Recorder // nil for batch runs
+	out   io.Writer
+	label string
+	start time.Time
+
+	prevPause *telemetry.Histogram
+	prevLat   *telemetry.Histogram
+
+	mu      sync.Mutex
+	reports []IntervalReport
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startIntervalReporter launches the reporter; call stopAndCollect when
+// the run ends to stop it and obtain the reports (a final partial
+// window is emitted for whatever the last full tick missed).
+func startIntervalReporter(every time.Duration, stats *vm.Stats, lat *telemetry.Recorder, out io.Writer, label string) *intervalReporter {
+	r := &intervalReporter{
+		every: every,
+		stats: stats,
+		lat:   lat,
+		out:   out,
+		label: label,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+func (r *intervalReporter) run() {
+	defer close(r.done)
+	t := time.NewTicker(r.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.observe()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// observe closes one window: cumulative snapshots minus the previous
+// cumulative snapshots.
+func (r *intervalReporter) observe() {
+	end := time.Since(r.start)
+
+	cumPause := telemetry.NewHistogram(telemetry.PauseConfig())
+	for _, h := range r.stats.PauseHistograms() {
+		cumPause.Add(h)
+	}
+	winPause := cumPause.Clone()
+	if r.prevPause != nil {
+		winPause.Subtract(r.prevPause)
+	}
+	r.prevPause = cumPause
+
+	var winLat *telemetry.Histogram
+	if r.lat != nil {
+		cumLat := r.lat.Snapshot()
+		winLat = cumLat.Clone()
+		if r.prevLat != nil {
+			winLat.Subtract(r.prevLat)
+		}
+		r.prevLat = cumLat
+	}
+
+	r.mu.Lock()
+	idx := len(r.reports)
+	startMS := 0.0
+	if idx > 0 {
+		startMS = r.reports[idx-1].EndMS
+	}
+	rep := IntervalReport{
+		Index:   idx,
+		StartMS: startMS,
+		EndMS:   float64(end) / float64(time.Millisecond),
+		Pauses:  winPause.Count(),
+	}
+	if winPause.Count() > 0 {
+		d := msDigest(winPause)
+		rep.PauseMS = &d
+	}
+	if winLat != nil && winLat.Count() > 0 {
+		d := msDigest(winLat)
+		rep.LatencyMS = &d
+		rep.Requests = winLat.Count()
+	}
+	r.reports = append(r.reports, rep)
+	r.mu.Unlock()
+
+	if r.out != nil {
+		line := fmt.Sprintf("  [%s interval %d @%.0fms] pauses=%d", r.label, rep.Index, rep.EndMS, rep.Pauses)
+		if rep.PauseMS != nil {
+			line += fmt.Sprintf(" gc{p50=%.2f p99=%.2f max=%.2f}", rep.PauseMS.P50, rep.PauseMS.P99, rep.PauseMS.Max)
+		}
+		if rep.LatencyMS != nil {
+			line += fmt.Sprintf(" req=%d lat{p50=%.2f p99=%.2f max=%.2f}", rep.Requests, rep.LatencyMS.P50, rep.LatencyMS.P99, rep.LatencyMS.Max)
+		}
+		fmt.Fprintln(r.out, line)
+	}
+}
+
+// stopAndCollect stops the ticker, closes the final partial window and
+// returns every report.
+func (r *intervalReporter) stopAndCollect() []IntervalReport {
+	close(r.stop)
+	<-r.done
+	r.observe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reports
+}

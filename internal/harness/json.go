@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"lxr/internal/conctrl"
 	"lxr/internal/telemetry"
 	"lxr/internal/vm"
 )
@@ -94,6 +95,16 @@ type RunSummary struct {
 	// distributions keyed by phase kind (the per-pause refinement of
 	// worker_pause_items: localises imbalance to a phase).
 	WorkerPauseItemsByPhase map[string]ItemsDigest `json:"worker_pause_items_by_phase,omitempty"`
+
+	// Governor is the adaptive loan-width governor's run record — the
+	// width trace, every resize event with its triggering window, and
+	// the achieved (worst-window) mutator utilization. Absent when the
+	// borrow width was static.
+	Governor *conctrl.Trace `json:"governor,omitempty"`
+
+	// Intervals holds the periodic reporter's per-window pause/latency
+	// digests (lxr-bench -interval). Absent otherwise.
+	Intervals []IntervalReport `json:"intervals,omitempty"`
 }
 
 // Summary digests a RunResult.
@@ -162,6 +173,8 @@ func (r *RunResult) Summary() RunSummary {
 			Mean:  h.Mean(),
 		}
 	}
+	s.Governor = r.Governor
+	s.Intervals = r.Intervals
 	return s
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lxr/internal/baselines"
+	"lxr/internal/conctrl"
 	"lxr/internal/core"
 	"lxr/internal/gcwork"
 	"lxr/internal/telemetry"
@@ -47,13 +48,33 @@ func NewPlan(id string, heapBytes, gcThreads int) vm.Plan {
 // concurrent marking) lend from the pool between pauses. 0 selects each
 // collector's default (half the GC threads).
 func NewPlanConc(id string, heapBytes, gcThreads, concWorkers int) vm.Plan {
+	return NewPlanOpts(id, heapBytes, Options{GCThreads: gcThreads, ConcWorkers: concWorkers})
+}
+
+// NewPlanOpts constructs a collector by name under the session options:
+// GC threads, between-pause borrow width, and — for the collectors with
+// a concurrent driver — the adaptive loan-width governor (Adaptive /
+// MMUFloor). Returns nil when the collector cannot run at this heap
+// size (ZGC's minimum heap).
+func NewPlanOpts(id string, heapBytes int, opts Options) vm.Plan {
+	gcThreads, concWorkers := opts.GCThreads, opts.ConcWorkers
+	if gcThreads == 0 {
+		gcThreads = 4
+	}
 	lxrCfg := func(c core.Config) vm.Plan {
 		c.HeapBytes, c.GCThreads, c.ConcWorkers = heapBytes, gcThreads, concWorkers
+		c.AdaptiveConc, c.MMUFloor = opts.Adaptive, opts.MMUFloor
 		return core.New(c)
 	}
-	conc := func(p interface{ SetConcWorkers(int) }) {
+	conc := func(p interface {
+		SetConcWorkers(int)
+		SetAdaptive(float64)
+	}) {
 		if concWorkers > 0 {
 			p.SetConcWorkers(concWorkers)
+		}
+		if opts.Adaptive {
+			p.SetAdaptive(opts.MMUFloor)
 		}
 	}
 	switch id {
@@ -101,7 +122,22 @@ type Options struct {
 	// phases borrow between pauses (0 = collector default: half the GC
 	// threads). See core.Config.ConcWorkers.
 	ConcWorkers int
-	Out         io.Writer
+	// Adaptive enables the conctrl loan-width governor on every
+	// collector with a concurrent driver: the borrow width starts at
+	// ConcWorkers (or the default) and is resized from observed
+	// mutator utilization; runs record the width trace, resize events
+	// and achieved MMU in RunResult.Governor.
+	Adaptive bool
+	// MMUFloor is the governor's optional minimum-mutator-utilization
+	// target (0 = pure utilization policy). Implies nothing unless
+	// Adaptive is set.
+	MMUFloor float64
+	// Interval, when non-zero, runs a periodic reporter beside every
+	// execution: each window's pause and request-latency percentiles
+	// are computed by differencing cumulative histogram snapshots
+	// (telemetry.Subtract) and collected in RunResult.Intervals.
+	Interval time.Duration
+	Out      io.Writer
 	// Bench filters experiments to a subset of benchmarks (nil = all).
 	Bench []string
 	// Record, when non-nil, observes every completed RunOne execution
@@ -174,6 +210,14 @@ type RunResult struct {
 	WorkerStats []gcwork.WorkerStat // per-worker items, split pause/loan
 	Loans       int64               // between-pause loans served
 	LoanItems   int64               // items processed on loaned workers
+
+	// Governor is the adaptive loan-width governor's run record (nil
+	// when the borrow width was static).
+	Governor *conctrl.Trace
+
+	// Intervals holds the periodic reporter's per-window digests
+	// (Options.Interval; nil otherwise).
+	Intervals []IntervalReport
 }
 
 // gcTelemetry is implemented by plans exposing gcwork pool utilization.
@@ -181,6 +225,7 @@ type gcTelemetry interface {
 	GCWorkerStats() []gcwork.WorkerStat
 	GCLoanStats() (loans, items int64)
 	ConcWorkers() int
+	GovernorTrace() *conctrl.Trace
 }
 
 // PauseHistMerged returns the union of the per-phase pause histograms
@@ -231,7 +276,7 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	if opts.Record != nil {
 		defer func() { opts.Record(res) }()
 	}
-	plan := NewPlanConc(collector, heap, opts.GCThreads, opts.ConcWorkers)
+	plan := NewPlanOpts(collector, heap, opts)
 	if plan == nil {
 		return res
 	}
@@ -243,14 +288,31 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	// returns its own start for exactly this.
 	var runStart time.Time
 	if spec.Request != nil && rate > 0 {
-		rr := workload.RunRequests(v, sz, rate)
+		rec := workload.NewLatencyRecorder(sz)
+		var rep *intervalReporter
+		if opts.Interval > 0 {
+			rep = startIntervalReporter(opts.Interval, v.Stats, rec, opts.Out,
+				fmt.Sprintf("%s/%s", spec.Name, collector))
+		}
+		rr := workload.RunRequestsRec(v, sz, rate, rec)
+		if rep != nil {
+			res.Intervals = rep.stopAndCollect()
+		}
 		runStart = rr.Start
 		res.Wall = rr.Wall
 		res.QPS = rr.QPS
 		res.Latency = rr.Latency
 		failed = rr.Failed
 	} else {
+		var rep *intervalReporter
+		if opts.Interval > 0 {
+			rep = startIntervalReporter(opts.Interval, v.Stats, nil, opts.Out,
+				fmt.Sprintf("%s/%s", spec.Name, collector))
+		}
 		br := workload.RunBatch(v, sz)
+		if rep != nil {
+			res.Intervals = rep.stopAndCollect()
+		}
 		runStart = br.Start
 		res.Wall = br.Wall
 		failed = br.Failed
@@ -271,6 +333,7 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 		res.ConcWorkers = t.ConcWorkers()
 		res.WorkerStats = t.GCWorkerStats()
 		res.Loans, res.LoanItems = t.GCLoanStats()
+		res.Governor = t.GovernorTrace()
 	}
 	return res
 }

@@ -73,6 +73,7 @@ type Stats struct {
 	gcWorkNs      atomic.Int64 // total collector work (STW + concurrent), all threads
 	concurrentNs  atomic.Int64 // concurrent-thread portion of gcWorkNs
 	mutatorBusyNs atomic.Int64 // mutator busy time (excludes parked time)
+	pauseNs       atomic.Int64 // summed pause durations (lock-free TotalPause)
 
 	counters sync.Map // string -> *counterCells
 	hists    sync.Map // string -> *telemetry.Recorder
@@ -98,6 +99,7 @@ func (s *Stats) RecordPause(kind string, start time.Time, dur, ttsp time.Duratio
 	}
 	h.Record(int64(dur))
 	s.mu.Unlock()
+	s.pauseNs.Add(int64(dur))
 }
 
 // PauseHistograms returns an independent copy of the per-phase pause
@@ -128,15 +130,12 @@ func (s *Stats) PauseCount() int {
 	return len(s.pauses)
 }
 
-// TotalPause returns the summed duration of all pauses.
+// TotalPause returns the summed duration of all pauses. It is a single
+// atomic load, so high-frequency samplers (the adaptive loan governor's
+// windowed utilization estimator) can call it without contending on the
+// pause records.
 func (s *Stats) TotalPause() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var t time.Duration
-	for _, p := range s.pauses {
-		t += p.Dur
-	}
-	return t
+	return time.Duration(s.pauseNs.Load())
 }
 
 // PausePercentiles returns the given pause-duration percentiles (0-100).

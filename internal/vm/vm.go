@@ -421,6 +421,27 @@ func (v *VM) FixRoots(f func(obj.Ref) obj.Ref) {
 	}
 }
 
+// ConcSignals supplies the adaptive loan governor's cumulative feedback
+// inputs (conctrl.Signals): total mutator busy time — live mutators'
+// elapsed-minus-parked time plus the busy time of mutators that already
+// deregistered — total collector work, total stop-the-world time, and
+// the live mutator count. Everything but the short per-mutator walk is
+// an atomic load, so it is cheap enough to sample every few
+// milliseconds. The live-busy estimate counts a currently parked
+// mutator as busy until its park is recorded; windowed consumers clamp
+// the resulting small negative deltas.
+func (v *VM) ConcSignals() (mutBusy, gcWork, pause time.Duration, mutators int) {
+	now := time.Now()
+	v.mu.Lock()
+	for m := range v.muts {
+		mutBusy += now.Sub(m.registered) - time.Duration(m.parkedNs.Load())
+	}
+	mutators = len(v.muts)
+	v.mu.Unlock()
+	mutBusy += v.Stats.MutatorBusy()
+	return mutBusy, v.Stats.GCWork(), v.Stats.TotalPause(), mutators
+}
+
 // MutatorCount returns the number of registered mutators. Approximate if
 // called while the world is running.
 func (v *VM) MutatorCount() int {

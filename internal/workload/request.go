@@ -93,8 +93,24 @@ func (p *RequestProfile) Request() *RequestProfile { return p }
 // path grows with the request count or disturbs the collector under
 // measurement.
 func RunRequests(v *vm.VM, sz Sized, ratePerSec float64) RequestResult {
+	return RunRequestsRec(v, sz, ratePerSec, nil)
+}
+
+// NewLatencyRecorder builds the latency recorder RunRequestsRec expects
+// for a workload of sz.Mutators workers.
+func NewLatencyRecorder(sz Sized) *telemetry.Recorder {
+	return telemetry.NewRecorder(telemetry.LatencyConfig(), sz.Mutators)
+}
+
+// RunRequestsRec is RunRequests with a caller-supplied latency recorder
+// (as built by NewLatencyRecorder), so a periodic reporter can snapshot
+// the latency distribution mid-run — Recorder.Snapshot is lock-free
+// against the recording workers. rec == nil allocates one internally.
+func RunRequestsRec(v *vm.VM, sz Sized, ratePerSec float64, rec *telemetry.Recorder) RequestResult {
 	n := sz.Requests
-	rec := telemetry.NewRecorder(telemetry.LatencyConfig(), sz.Mutators)
+	if rec == nil {
+		rec = NewLatencyRecorder(sz)
+	}
 	interval := time.Duration(float64(time.Second) / ratePerSec)
 
 	var next atomic.Int64
