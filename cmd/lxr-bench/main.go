@@ -5,7 +5,7 @@
 //
 //	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|heapsens|all
 //	          [-scale quick|default] [-gcthreads N] [-concworkers N]
-//	          [-adaptive] [-mmufloor F] [-interval D]
+//	          [-adaptive] [-mmufloor F] [-pacing static|adaptive] [-interval D]
 //	          [-bench name,name,...] [-json file|-] [-hist file]
 //
 // -json additionally emits every executed run as a machine-readable
@@ -15,8 +15,14 @@
 // histograms as sparse bucket dumps. -adaptive sizes the concurrent
 // borrow width from observed mutator utilization (optionally targeting
 // an MMU floor with -mmufloor) and records the governor's width trace
-// in the JSON output. -interval emits periodic per-window latency and
-// pause percentiles during each run. See EXPERIMENTS.md.
+// in the JSON output. -pacing adaptive drives every collector's
+// collection triggers through the adaptive policy pacers (load-scaled
+// LXR epoch lengths, headroom-based G1 IHOP, churn-aware free-fraction
+// triggers); the pacing decision archive lands under "pacing" in the
+// JSON output in both modes. -interval emits periodic per-window
+// latency and pause percentiles during each run; windows whose p99
+// departs more than 2x from the trailing mean are marked drift:true.
+// See EXPERIMENTS.md.
 package main
 
 import (
@@ -39,6 +45,7 @@ func main() {
 		concW      = flag.Int("concworkers", 0, "GC workers borrowed by concurrent phases between pauses (0 = half of gcthreads)")
 		adaptive   = flag.Bool("adaptive", false, "size the concurrent borrow width adaptively from observed mutator utilization (conctrl governor); -concworkers becomes the initial width")
 		mmuFloor   = flag.Float64("mmufloor", 0, "adaptive governor's minimum-mutator-utilization target in (0,1); 0 = pure utilization policy (implies -adaptive when set)")
+		pacing     = flag.String("pacing", "static", "collection-trigger pacing: 'static' reproduces each collector's historical thresholds, 'adaptive' drives them from observed signals (load-scaled LXR epochs, headroom-based G1 IHOP, churn-aware free-fraction triggers); decisions are archived under \"pacing\" in -json either way")
 		interval   = flag.Duration("interval", 0, "periodic per-window report: snapshot merged histograms on this period and emit windowed latency/pause percentiles (e.g. 2s; also archived under \"intervals\" in -json)")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
 		jsonOut    = flag.String("json", "", "write run summaries as JSON to this file ('-' = stdout)")
@@ -59,13 +66,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-mmufloor %v outside [0,1)\n", *mmuFloor)
 		os.Exit(2)
 	}
+	if *pacing != "static" && *pacing != "adaptive" {
+		fmt.Fprintf(os.Stderr, "unknown -pacing %q (want static or adaptive)\n", *pacing)
+		os.Exit(2)
+	}
 	opts := harness.Options{
-		GCThreads:   *gcThreads,
-		ConcWorkers: *concW,
-		Adaptive:    *adaptive || *mmuFloor > 0,
-		MMUFloor:    *mmuFloor,
-		Interval:    *interval,
-		Out:         os.Stdout,
+		GCThreads:      *gcThreads,
+		ConcWorkers:    *concW,
+		Adaptive:       *adaptive || *mmuFloor > 0,
+		MMUFloor:       *mmuFloor,
+		PacingAdaptive: *pacing == "adaptive",
+		Interval:       *interval,
+		Out:            os.Stdout,
 	}
 	var summaries []harness.RunSummary
 	var dumps []harness.HistDump

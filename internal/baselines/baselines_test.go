@@ -3,10 +3,13 @@ package baselines_test
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"lxr/internal/baselines"
 	"lxr/internal/core"
+	"lxr/internal/policy"
 	"lxr/internal/vm"
 )
 
@@ -297,5 +300,68 @@ func TestG1TightHeapEvacuationFailure(t *testing.T) {
 		failures := p.EvacFailures()
 		v.Shutdown()
 		t.Logf("liveNodes=%d: %d in-place promotions, oom=%v", liveNodes, failures, oom)
+	}
+}
+
+// TestShenPacedTriggerUnderChurn is the race cover for the pacing
+// snapshot path: Shenandoah's cycle trigger (pacer free-fraction check)
+// runs on the conctrl controller goroutine with the controller lock
+// held, reading occupancy — including the large-object space's, which
+// used to take the LOS mutex — concurrently with mutators allocating
+// large objects. Every read on that path must be lock-free and
+// race-clean, and adaptive pacing must keep cycles firing.
+func TestShenPacedTriggerUnderChurn(t *testing.T) {
+	const heap = 12 << 20
+	p := baselines.NewShenandoah(heap, 2)
+	p.SetPacing(policy.Adaptive)
+	v := vm.New(p, 8)
+	defer v.Shutdown()
+
+	// Phase 1 (the race cover): mutators churn small and large objects
+	// while the controller goroutine polls the pacer's free-fraction
+	// trigger — every read on that path must be lock-free.
+	var wg sync.WaitGroup
+	for mt := 0; mt < 3; mt++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := v.RegisterMutator(8)
+			defer m.Deregister()
+			for i := 0; i < 4000; i++ {
+				m.Roots[0] = m.Alloc(0, 2, 256)
+				if i%64 == 0 {
+					m.Roots[1] = m.Alloc(0, 0, 20<<10) // LOS churn
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 2 (determinism): drive occupancy over the trigger and hold
+	// it there across several of the controller's 2ms polls, so the
+	// trigger provably fires regardless of scheduling. Garbage is only
+	// reclaimed by cycles, so occupancy cannot fall back on its own.
+	m := v.RegisterMutator(8)
+	bt := p.BlockTable()
+	for i := 0; i < 1<<18; i++ {
+		if i%64 == 0 && p.PacingTrace().Fired > 0 {
+			break
+		}
+		m.Roots[0] = m.Alloc(0, 2, 256)
+		if bt.InUseBlocks()+bt.LOS().BlocksInUse() > bt.BudgetBlocks()*3/4 {
+			m.BlockedSleep(3 * time.Millisecond) // let the poll observe it
+		}
+	}
+	m.Deregister()
+
+	tr := p.PacingTrace()
+	if tr == nil {
+		t.Fatal("no pacing trace")
+	}
+	if tr.Collector != "Shenandoah" || tr.Mode != "adaptive" {
+		t.Fatalf("trace identity %s/%s", tr.Collector, tr.Mode)
+	}
+	if tr.Fired == 0 {
+		t.Fatal("sustained occupancy above the threshold never fired the free-fraction trigger")
 	}
 }

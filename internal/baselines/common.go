@@ -35,6 +35,7 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/meta"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/vm"
 )
 
@@ -60,6 +61,11 @@ type base struct {
 	adaptive bool
 	mmuFloor float64
 	gov      *conctrl.Governor
+
+	// pacing selects the policy mode; each plan constructs its pacer in
+	// Boot and routes every start decision through it.
+	pacing policy.Mode
+	pacer  policy.Pacer
 }
 
 func newBase(name string, heapBytes, gcThreads int) base {
@@ -127,6 +133,21 @@ func (b *base) GovernorTrace() *conctrl.Trace {
 	return b.gov.Trace()
 }
 
+// SetPacing selects the pacing mode (policy.Static reproduces each
+// collector's historical trigger behavior exactly; policy.Adaptive
+// drives the thresholds from the observed signals). Must be called
+// before Boot, which constructs the plan's pacer.
+func (b *base) SetPacing(m policy.Mode) { b.pacing = m }
+
+// PacingTrace returns the pacer's archived decision record (harness
+// telemetry, emitted under "pacing" in the -json output).
+func (b *base) PacingTrace() *policy.Trace {
+	if b.pacer == nil {
+		return nil
+	}
+	return b.pacer.Trace()
+}
+
 // newController builds the plan's shared concurrent controller around
 // its cycle driver, attaching the adaptive governor when enabled.
 // stats may be nil for drivers that account their concurrent slices
@@ -138,6 +159,16 @@ func (b *base) newController(d conctrl.CycleDriver, v *vm.VM, stats *vm.Stats, p
 	if b.adaptive {
 		b.gov = conctrl.NewCollectorGovernor(b.pool.N, b.concWorkers, b.mmuFloor)
 		cfg.Governor = b.gov
+	}
+	if b.pacing == policy.Adaptive {
+		// An adaptive pacer that consumes utilization windows subscribes
+		// to the controller's export, so trigger thresholds and the loan
+		// width act on the same estimator. Pacers that adapt on cycle
+		// boundaries only are not WindowObservers, and wiring them would
+		// make the controller sample windows nobody reads.
+		if wo, ok := b.pacer.(policy.WindowObserver); ok {
+			cfg.WindowSink = wo.ObserveWindow
+		}
 	}
 	return conctrl.NewController(d, cfg)
 }

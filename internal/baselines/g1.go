@@ -11,6 +11,7 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/meta"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/remset"
 	"lxr/internal/satb"
 	"lxr/internal/vm"
@@ -111,6 +112,11 @@ type g1Mut struct {
 // Boot implements vm.Plan.
 func (p *G1) Boot(v *vm.VM) {
 	p.vm = v
+	p.pacer = policy.NewG1Pacer(policy.G1PacerConfig{
+		Mode:              p.pacing,
+		BudgetBlocks:      p.bt.BudgetBlocks(),
+		YoungTargetBlocks: int(p.youngTarget),
+	})
 	p.ctl = p.newController(p.mark, v, v.Stats, 0)
 	p.ctl.Start()
 }
@@ -222,15 +228,15 @@ func (p *G1) ReadRef(m *vm.Mutator, src obj.Ref, i int) obj.Ref {
 }
 
 // PollSafepoint implements vm.Plan: young collections trigger when the
-// young generation reaches its target size, or earlier when the
-// remaining budget no longer guarantees the evacuation copy reserve
-// (real G1 reserves to-space the same way to avoid evacuation failure).
+// pacer judges the young generation due — at its target size, or
+// earlier when the remaining budget no longer guarantees the evacuation
+// copy reserve (real G1 reserves to-space the same way to avoid
+// evacuation failure).
 func (p *G1) PollSafepoint(m *vm.Mutator) {
-	yb := p.youngBlocks.Load()
-	// Margin: evacuation must fit the young survivors even if large
-	// allocations land between this poll and the pause.
-	due := yb >= p.youngTarget ||
-		(yb > 4 && p.bt.BudgetRemaining() <= int(yb)+int(yb)/4+8)
+	due := p.pacer.ShouldCollect(policy.Signals{
+		YoungBlocks:     int(p.youngBlocks.Load()),
+		BudgetRemaining: p.bt.BudgetRemaining(),
+	})
 	if due && p.gcScheduled.CompareAndSwap(false, true) {
 		e := p.vm.GCEpoch()
 		p.vm.CollectIfEpoch(m, e, func() { p.collectLocked() })
@@ -420,10 +426,14 @@ func (p *G1) collect() string {
 	}
 	p.youngBlocks.Store(0)
 
-	// Trigger a concurrent mark when occupancy crosses the IHOP-style
-	// threshold (45% of budget).
+	// Trigger a concurrent mark when occupancy crosses the pacer's
+	// IHOP threshold (fixed 45% of budget under static pacing;
+	// headroom-based under adaptive pacing).
 	if !p.marking.Load() && !p.markDone.Load() &&
-		p.bt.InUseBlocks()+p.bt.LOS().BlocksInUse() > p.bt.BudgetBlocks()*45/100 {
+		p.pacer.ShouldStartCycle(policy.Signals{
+			HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
+			BudgetBlocks: p.bt.BudgetBlocks(),
+		}) {
 		p.startMark(rootSlots)
 	}
 	if mixed {
@@ -554,6 +564,10 @@ func (p *G1) startMark(rootSlots []*obj.Ref) {
 	}
 	p.tracer.Seed(seeds)
 	p.marking.Store(true)
+	p.pacer.ObserveCycleStart(policy.Signals{
+		HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
+		BudgetBlocks: p.bt.BudgetBlocks(),
+	})
 }
 
 // finishMark runs when the tracer drains: liveness figures select the
@@ -580,6 +594,10 @@ func (p *G1) finishMark() {
 	}
 	p.tracer.Finish()
 	p.markDone.Store(true)
+	p.pacer.ObserveCycleEnd(policy.Signals{
+		HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
+		BudgetBlocks: p.bt.BudgetBlocks(),
+	})
 }
 
 // --- concurrent mark driver ---------------------------------------------------

@@ -8,6 +8,7 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/meta"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/satb"
 	"lxr/internal/vm"
 )
@@ -58,7 +59,12 @@ type immixLines struct{ t *meta.BitTable }
 func (l immixLines) LineFree(idx int) bool { return !l.t.Get(mem.LineStart(idx)) }
 
 // Boot implements vm.Plan.
-func (p *Immix) Boot(v *vm.VM) { p.vm = v }
+func (p *Immix) Boot(v *vm.VM) {
+	p.vm = v
+	// Limit 0: collections are driven purely by allocation failure; the
+	// pacer archives each heap-full fire with its occupancy snapshot.
+	p.pacer = policy.NewHeapFullPacer(p.name, p.pacing, 0)
+}
 
 // Shutdown implements vm.Plan: parks and releases the persistent GC
 // worker pool.
@@ -93,7 +99,16 @@ func (p *Immix) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
 			}
 			return ms.alloc.Alloc(l.Size)
 		},
-		func() { p.collectLocked() })
+		func() {
+			// Allocation failure is the only trigger; the pacer archives
+			// the heap-full decision before the collection runs.
+			if p.pacer.ShouldCollect(policy.Signals{
+				HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
+				BudgetBlocks: p.bt.BudgetBlocks(),
+			}) {
+				p.collectLocked()
+			}
+		})
 	if !ok {
 		p.oom(l)
 	}

@@ -8,6 +8,7 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/meta"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/vm"
 )
 
@@ -45,7 +46,10 @@ func NewParallel(heapBytes, gcThreads int) *SemiSpace {
 type ssMut struct{ alloc immix.Allocator }
 
 // Boot implements vm.Plan.
-func (p *SemiSpace) Boot(v *vm.VM) { p.vm = v }
+func (p *SemiSpace) Boot(v *vm.VM) {
+	p.vm = v
+	p.pacer = policy.NewHeapFullPacer(p.name, p.pacing, p.halfBudget())
+}
 
 // Shutdown implements vm.Plan: parks and releases the persistent GC
 // worker pool.
@@ -71,8 +75,12 @@ func (p *SemiSpace) tryAlloc(ms *ssMut, l obj.Layout) (obj.Ref, bool) {
 	if l.Large {
 		return p.allocLarge(l)
 	}
-	// Enforce the half budget: the other half is the copy reserve.
-	if p.bt.InUseBlocks() >= p.halfBudget() {
+	// The pacer enforces the half budget: the other half is the copy
+	// reserve, so reaching it means a collection is due.
+	if p.pacer.ShouldCollect(policy.Signals{
+		HeapBlocks:   p.bt.InUseBlocks(),
+		BudgetBlocks: p.bt.BudgetBlocks(),
+	}) {
 		return mem.Nil, false
 	}
 	return ms.alloc.Alloc(l.Size)

@@ -12,6 +12,7 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/meta"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/satb"
 	"lxr/internal/vm"
 )
@@ -109,6 +110,11 @@ type shenMut struct {
 // runCycle instead.
 func (p *Shen) Boot(v *vm.VM) {
 	p.vm = v
+	p.pacer = policy.NewFreeFractionPacer(policy.FreeFractionPacerConfig{
+		Mode:         p.pacing,
+		Collector:    p.name,
+		BudgetBlocks: p.bt.BudgetBlocks(),
+	})
 	p.ctl = p.newController(&shenCycles{p: p}, v, nil, 2*time.Millisecond)
 	p.ctl.Start()
 }
@@ -335,10 +341,18 @@ func (d *shenCycles) OnStop(failure any) {
 	p.cycleMu.Unlock()
 }
 
-// cycleDue triggers a cycle when free memory falls under 30% of budget.
+// cycleDue asks the pacer whether free memory has fallen under the
+// trigger fraction (historically 30% of budget; adaptive pacing backs
+// the threshold off under churn). It runs on the controller goroutine
+// with the controller lock held, so every read here is lock-free:
+// occupancy comes from the block table's atomic counters (including the
+// large-object space's, made atomic for exactly this path) and the
+// pacer's threshold is an atomic load.
 func (p *Shen) cycleDue() bool {
-	used := p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse()
-	return used > p.bt.BudgetBlocks()*70/100
+	return p.pacer.ShouldStartCycle(policy.Signals{
+		HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
+		BudgetBlocks: p.bt.BudgetBlocks(),
+	})
 }
 
 func (p *Shen) runCycle() {
@@ -375,6 +389,10 @@ func (p *Shen) runCycle() {
 			}
 			p.tracer.Seed(seeds)
 			p.phase.Store(phMark)
+			p.pacer.ObserveCycleStart(policy.Signals{
+				HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
+				BudgetBlocks: p.bt.BudgetBlocks(),
+			})
 		})
 		p.recordPauseWorkerItems("init-mark")
 	})
@@ -508,6 +526,10 @@ func (p *Shen) runCycle() {
 			}
 			p.cset = p.cset[:0]
 			p.phase.Store(phIdle)
+			p.pacer.ObserveCycleEnd(policy.Signals{
+				HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
+				BudgetBlocks: p.bt.BudgetBlocks(),
+			})
 		})
 		p.vm.Stats.AddGCWork(dur)
 		p.recordPauseWorkerItems("final-update")

@@ -20,6 +20,7 @@
 package conctrl
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -52,6 +53,18 @@ type ReleaseNotifier interface {
 	OnRelease()
 }
 
+// UrgencyWeighted is an optional CycleDriver extension: Urgency returns
+// the driver's MMU-floor vote weight (≥ 1) for the adaptive loan-width
+// governor. A window violating the MMU floor contributes this many grow
+// votes instead of one, so the grow step lands fastest on the driver
+// whose backlog the pauses directly absorb — LXR's decrement drain
+// lengthens the very next pause, while G1-style marking only delays a
+// future mixed collection. NewController installs the weight on the
+// configured governor.
+type UrgencyWeighted interface {
+	Urgency() float64
+}
+
 // StopNotifier is an optional CycleDriver extension: OnStop runs once
 // when the controller goroutine exits — after Stop, or after a quantum
 // panic was parked. failure is the parked panic (nil on a clean stop).
@@ -76,8 +89,15 @@ type Config struct {
 	// is ignored. The controller samples Signals between quanta.
 	Governor *Governor
 	// Signals supplies the governor's cumulative feedback inputs
-	// (vm.VM implements it). Required when Governor is set.
+	// (vm.VM implements it). Required when Governor or WindowSink is
+	// set.
 	Signals Signals
+	// WindowSink, when non-nil, receives every utilization-estimator
+	// window the controller samples — (windowed mutator utilization,
+	// total CPU load fraction) — whether or not a Governor is
+	// installed. Adaptive pacing policies subscribe here so trigger
+	// thresholds and the loan width act on the same estimator.
+	WindowSink func(util, load float64)
 	// Poll, when non-zero, makes an idle controller re-check HasWork on
 	// this period instead of sleeping until Kick — for drivers whose
 	// work condition is a heap-occupancy threshold no event announces
@@ -142,6 +162,11 @@ type Controller struct {
 func NewController(d CycleDriver, cfg Config) *Controller {
 	if cfg.Width < 1 {
 		cfg.Width = 1
+	}
+	if cfg.Governor != nil {
+		if uw, ok := d.(UrgencyWeighted); ok {
+			cfg.Governor.SetUrgency(uw.Urgency())
+		}
 	}
 	c := &Controller{d: d, cfg: cfg, done: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
@@ -319,18 +344,27 @@ func (c *Controller) notifyStop(failure any) {
 // goroutine); it is a no-op until the governor's window has elapsed.
 func (c *Controller) Govern() { c.govern() }
 
-// govern feeds the governor one window when enough wall time has
-// accumulated since the last sample. Runs on the controller goroutine —
-// between quanta, and wherever a long-running quantum calls Govern;
-// while the driver is idle no loans run and the width does not matter.
+// govern feeds the governor and/or the window sink one window when
+// enough wall time has accumulated since the last sample. Runs on the
+// controller goroutine — between quanta, and wherever a long-running
+// quantum calls Govern; while the driver is idle no loans run and the
+// width does not matter.
 func (c *Controller) govern() {
 	g := c.cfg.Governor
-	if g == nil || c.cfg.Signals == nil {
+	if (g == nil && c.cfg.WindowSink == nil) || c.cfg.Signals == nil {
 		return
+	}
+	// The sink-only path uses the same defaults withDefaults gives a
+	// governor, so both paths sample one estimator geometry.
+	window := DefaultWindow
+	cores := runtime.NumCPU()
+	if g != nil {
+		window = g.cfg.Window
+		cores = g.cfg.Cores
 	}
 	now := time.Now()
 	wall := now.Sub(c.lastSample)
-	if wall < g.cfg.Window {
+	if wall < window {
 		return
 	}
 	mut, gc, pause, muts := c.cfg.Signals.ConcSignals()
@@ -343,7 +377,13 @@ func (c *Controller) govern() {
 	}
 	c.lastSample = now
 	c.prevMut, c.prevGC, c.prevPause = mut, gc, pause
-	g.Observe(now.Sub(c.epoch), s)
+	if g != nil {
+		g.Observe(now.Sub(c.epoch), s)
+	}
+	if c.cfg.WindowSink != nil {
+		util, load := s.UtilLoad(cores)
+		c.cfg.WindowSink(util, load)
+	}
 }
 
 // clampDur floors a windowed delta at zero: the busy estimator counts a

@@ -42,6 +42,14 @@ type GovernorConfig struct {
 	// before the width moves one step (default 3) — hysteresis so a
 	// single noisy window cannot flap the width.
 	Settle int
+	// Urgency weights the MMU-floor grow vote (default 1): a window
+	// under the floor contributes Urgency votes instead of one, so a
+	// driver whose backlog the pauses directly absorb — LXR's decrement
+	// drain lengthens the very next pause — reaches the grow step in
+	// ceil(Settle/Urgency) windows while utilization-only votes keep
+	// the full Settle hysteresis. Drivers advertise their weight via
+	// the UrgencyWeighted extension; the controller installs it.
+	Urgency float64
 	// Cores is the core count the load fraction is denominated in
 	// (default runtime.NumCPU). The default is deliberately the host's
 	// real parallelism, not the modelled machine's GOMAXPROCS: mutator
@@ -66,7 +74,7 @@ func (c GovernorConfig) withDefaults() GovernorConfig {
 		c.Initial = c.Max
 	}
 	if c.Window <= 0 {
-		c.Window = 2 * time.Millisecond
+		c.Window = DefaultWindow
 	}
 	if c.GrowBelow == 0 {
 		c.GrowBelow = 0.70
@@ -80,11 +88,20 @@ func (c GovernorConfig) withDefaults() GovernorConfig {
 	if c.Settle <= 0 {
 		c.Settle = 3
 	}
+	if c.Urgency <= 0 {
+		c.Urgency = 1
+	}
 	if c.Cores <= 0 {
 		c.Cores = runtime.NumCPU()
 	}
 	return c
 }
+
+// DefaultWindow is the estimator's default sampling period — shared by
+// the governed path (GovernorConfig.Window's zero value) and the
+// sink-only path (WindowSink without a Governor), so adaptive pacing
+// with and without the adaptive loan width samples the same geometry.
+const DefaultWindow = 2 * time.Millisecond
 
 // Sample is one observation window of the feedback signals, already
 // differenced from the cumulative counters.
@@ -94,6 +111,22 @@ type Sample struct {
 	GCWork      time.Duration // collector work (STW + concurrent) inside the window
 	Pause       time.Duration // stop-the-world time inside the window
 	Mutators    int           // live mutator threads
+}
+
+// UtilLoad derives the window's mutator utilization (1 − pause/wall,
+// floored at 0) and total CPU demand fraction from the sample — the two
+// quantities both the governor's resize policy and the pacing window
+// export act on, so they are computed one way.
+func (s Sample) UtilLoad(cores int) (util, load float64) {
+	if s.Wall <= 0 {
+		return 1, 0
+	}
+	util = 1 - float64(s.Pause)/float64(s.Wall)
+	if util < 0 {
+		util = 0
+	}
+	load = float64(s.MutatorBusy+s.GCWork) / (float64(s.Wall) * float64(cores))
+	return util, load
 }
 
 // ResizeEvent records one width change.
@@ -118,7 +151,10 @@ type WidthPoint struct {
 // Trace is a snapshot of everything the governor did during a run —
 // the harness archives it per run ("governor" in the -json output).
 type Trace struct {
-	MMUFloor   float64 `json:"mmu_floor,omitempty"`
+	MMUFloor float64 `json:"mmu_floor,omitempty"`
+	// Urgency is the driver's MMU-floor vote weight (omitted at the
+	// default weight of 1).
+	Urgency    float64 `json:"urgency,omitempty"`
 	MinWidth   int     `json:"min_width"`
 	MaxWidth   int     `json:"max_width"`
 	FinalWidth int     `json:"final_width"`
@@ -171,8 +207,8 @@ type Governor struct {
 
 	mu          sync.Mutex
 	samples     int64
-	growVotes   int
-	shrinkVotes int
+	growVotes   float64
+	shrinkVotes float64
 	minUtil     float64
 	events      []ResizeEvent
 	widths      []WidthPoint
@@ -190,6 +226,19 @@ func NewGovernor(cfg GovernorConfig) *Governor {
 // Width returns the current borrow width (lock-free).
 func (g *Governor) Width() int { return int(g.width.Load()) }
 
+// SetUrgency installs the driver's MMU-floor vote weight (clamped to
+// ≥ 1). The controller calls it at construction when the driver
+// implements UrgencyWeighted; tests may call it directly. Must be set
+// before windows are observed.
+func (g *Governor) SetUrgency(u float64) {
+	if u < 1 {
+		u = 1
+	}
+	g.mu.Lock()
+	g.cfg.Urgency = u
+	g.mu.Unlock()
+}
+
 // Observe feeds one window through the resize policy and returns the
 // (possibly new) width and whether it changed. at is the window's end
 // on the run timeline (for the width trace).
@@ -197,12 +246,7 @@ func (g *Governor) Observe(at time.Duration, s Sample) (width int, changed bool)
 	if s.Wall <= 0 {
 		return g.Width(), false
 	}
-	cores := g.cfg.Cores
-	util := 1 - float64(s.Pause)/float64(s.Wall)
-	if util < 0 {
-		util = 0
-	}
-	load := float64(s.MutatorBusy+s.GCWork) / (float64(s.Wall) * float64(cores))
+	util, load := s.UtilLoad(g.cfg.Cores)
 	mutDemand := 0.0
 	if s.Mutators > 0 {
 		mutDemand = float64(s.MutatorBusy) / (float64(s.Wall) * float64(s.Mutators))
@@ -227,7 +271,14 @@ func (g *Governor) Observe(at time.Duration, s Sample) (width int, changed bool)
 
 	switch dir {
 	case +1:
-		g.growVotes++
+		// MMU-floor violations carry the driver's urgency weight: the
+		// grow vote lands fastest on the driver whose backlog the
+		// pauses actually absorb.
+		if reason == "mmu-floor" {
+			g.growVotes += g.cfg.Urgency
+		} else {
+			g.growVotes++
+		}
 		g.shrinkVotes = 0
 	case -1:
 		g.shrinkVotes++
@@ -239,10 +290,10 @@ func (g *Governor) Observe(at time.Duration, s Sample) (width int, changed bool)
 	from := int(g.width.Load())
 	to := from
 	switch {
-	case g.growVotes >= g.cfg.Settle:
+	case g.growVotes >= float64(g.cfg.Settle):
 		to = from + 1
 		g.growVotes = 0
-	case g.shrinkVotes >= g.cfg.Settle:
+	case g.shrinkVotes >= float64(g.cfg.Settle):
 		to = from - 1
 		g.shrinkVotes = 0
 	default:
@@ -271,8 +322,13 @@ func (g *Governor) Observe(at time.Duration, s Sample) (width int, changed bool)
 func (g *Governor) Trace() *Trace {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	urgency := g.cfg.Urgency
+	if urgency == 1 {
+		urgency = 0 // omit the default weight from the JSON record
+	}
 	t := &Trace{
 		MMUFloor:    g.cfg.MMUFloor,
+		Urgency:     urgency,
 		MinWidth:    g.cfg.Min,
 		MaxWidth:    g.cfg.Max,
 		FinalWidth:  int(g.width.Load()),

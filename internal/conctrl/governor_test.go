@@ -174,3 +174,90 @@ func TestGovernorNoSamples(t *testing.T) {
 		t.Fatalf("empty width trace %v, want the initial point", tr.Widths)
 	}
 }
+
+// TestGovernorUrgencyAcceleratesMMUFloor: an urgency-weighted driver
+// reaches the MMU-floor grow step in ceil(Settle/Urgency) windows,
+// while utilization-only votes keep the full hysteresis.
+func TestGovernorUrgencyAcceleratesMMUFloor(t *testing.T) {
+	cfg := govCfg(0.9)
+	cfg.Settle = 4
+	g := NewGovernor(cfg)
+	g.SetUrgency(2)
+	floor := sample(6.0, 2.0, 0.2, 6) // util 0.8 < floor 0.9
+	// Two urgency-2 votes settle a 4-window hysteresis.
+	if w := feed(g, 2, floor); w != 5 {
+		t.Fatalf("width %d after 2 weighted mmu-floor windows, want 5", w)
+	}
+	// The same trace at the default weight needs all 4 windows.
+	g2 := NewGovernor(cfg)
+	if w := feed(g2, 3, floor); w != 4 {
+		t.Fatalf("width %d after 3 unweighted windows, want unchanged 4", w)
+	}
+	if w := feed(g2, 1, floor); w != 5 {
+		t.Fatalf("width %d after the 4th window, want 5", w)
+	}
+	// cores-idle grow votes are NOT weighted: settle stays 4.
+	g3 := NewGovernor(cfg)
+	g3.SetUrgency(3)
+	idle := sample(0.5, 0.5, 0, 4)
+	if w := feed(g3, 3, idle); w != 4 {
+		t.Fatalf("width %d: urgency must not accelerate cores-idle votes", w)
+	}
+	// The urgency lands in the trace (omitted only at the default).
+	if tr := g.Trace(); tr.Urgency != 2 {
+		t.Fatalf("trace urgency %v, want 2", tr.Urgency)
+	}
+	if tr := g2.Trace(); tr.Urgency != 0 {
+		t.Fatalf("default urgency must be omitted from the trace, got %v", tr.Urgency)
+	}
+}
+
+// TestControllerInstallsDriverUrgency: NewController wires an
+// UrgencyWeighted driver's weight into the configured governor.
+func TestControllerInstallsDriverUrgency(t *testing.T) {
+	g := NewGovernor(govCfg(0.9))
+	d := &urgentDriver{}
+	NewController(d, Config{Governor: g, Signals: fakeSignals{}})
+	if tr := g.Trace(); tr.Urgency != 2.5 {
+		t.Fatalf("governor urgency %v, want the driver's 2.5", tr.Urgency)
+	}
+}
+
+type urgentDriver struct{}
+
+func (d *urgentDriver) HasWork() bool    { return false }
+func (d *urgentDriver) Quantum(int)      {}
+func (d *urgentDriver) Urgency() float64 { return 2.5 }
+
+type fakeSignals struct{}
+
+func (fakeSignals) ConcSignals() (time.Duration, time.Duration, time.Duration, int) {
+	return 0, 0, 0, 0
+}
+
+// TestControllerWindowSinkWithoutGovernor: the controller samples
+// utilization windows for the sink even when no governor is installed
+// (adaptive pacing without the adaptive loan width).
+func TestControllerWindowSinkWithoutGovernor(t *testing.T) {
+	var utils, loads []float64
+	c := NewController(&urgentDriver{}, Config{
+		Signals: fakeSignals{},
+		WindowSink: func(util, load float64) {
+			utils = append(utils, util)
+			loads = append(loads, load)
+		},
+	})
+	c.lastSample = time.Now().Add(-10 * time.Millisecond)
+	c.govern()
+	if len(utils) != 1 {
+		t.Fatalf("sink saw %d windows, want 1", len(utils))
+	}
+	if utils[0] != 1 || loads[0] != 0 {
+		t.Fatalf("idle zero-signal window reported util=%v load=%v, want 1 and 0", utils[0], loads[0])
+	}
+	// Below the 2ms default window: no sample.
+	c.govern()
+	if len(utils) != 1 {
+		t.Fatalf("sub-window govern sampled anyway (%d windows)", len(utils))
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"lxr/internal/immix"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/vm"
 )
 
@@ -109,18 +110,22 @@ func (p *LXR) ReadRef(m *vm.Mutator, src obj.Ref, i int) obj.Ref {
 }
 
 // PollSafepoint implements vm.Plan: the RC trigger fast path. The
-// survival-rate trigger has been folded into a single allocation-volume
-// comparison (see recomputeAllocLimit); the increment threshold is
+// pacer folds the survival-rate trigger into a single allocation-budget
+// comparison (policy.RCPacer.AllocLimit); the increment threshold is
 // checked when configured.
 func (p *LXR) PollSafepoint(m *vm.Mutator) {
 	ms, _ := m.PlanState.(*mutState)
 	if ms != nil && ms.alloc.SinceEpoch > 0 {
 		p.allocSince.Add(0) // keep counter hot; actual adds happen in Alloc
 	}
-	due := p.allocSince.Load() >= p.allocLimit.Load()
-	if !due && p.cfg.IncrementThreshold > 0 {
-		due = p.logsSince.Load() >= p.cfg.IncrementThreshold
+	var logged int64
+	if p.cfg.IncrementThreshold > 0 {
+		logged = p.logsSince.Load()
 	}
+	due := p.pacer.ShouldCollect(policy.Signals{
+		AllocBytes:   p.allocSince.Load(),
+		LoggedFields: logged,
+	})
 	if due && p.gcScheduled.CompareAndSwap(false, true) {
 		e := p.vm.GCEpoch()
 		p.vm.CollectIfEpoch(m, e, func() { p.collectRC(pauseCauseTrigger) })

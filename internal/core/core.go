@@ -22,9 +22,9 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/meta"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/remset"
 	"lxr/internal/satb"
-	"lxr/internal/trigger"
 	"lxr/internal/vm"
 )
 
@@ -56,6 +56,12 @@ type Config struct {
 	// are under-resourced. 0 disables the floor (pure utilization
 	// policy).
 	MMUFloor float64
+	// AdaptivePacing drives the collection triggers adaptively
+	// (policy.RCPacer): RC epochs stretch when the machine is idle and
+	// shorten when the decrement backlog starts getting absorbed by
+	// pauses. Off, the pacer reproduces the paper's fixed trigger
+	// configuration exactly.
+	AdaptivePacing bool
 	// SurvivalThresholdBytes is the RC trigger's expected-survivor
 	// bound per epoch (the paper uses 128 MB on multi-GB heaps; default
 	// here scales with the heap: HeapBytes/8, capped at 128 MB).
@@ -174,12 +180,13 @@ type LXR struct {
 	pool     *gcwork.Pool
 	vm       *vm.VM
 
-	rcTrig   *trigger.RCTrigger
-	satbTrig *trigger.SATBTrigger
+	// pacer owns every start decision: the RC pause trigger polled at
+	// safepoints and the SATB cycle votes evaluated at pause end
+	// (policy.RCPacer behind the shared pacing contract).
+	pacer policy.Pacer
 
 	// Epoch counters polled by the trigger fast path.
 	allocSince  atomic.Int64 // bytes allocated since last pause
-	allocLimit  atomic.Int64 // allocSince value that triggers a pause
 	logsSince   atomic.Int64 // barrier slow paths since last pause
 	gcScheduled atomic.Bool
 
@@ -274,9 +281,20 @@ func New(cfg Config) *LXR {
 			}
 		},
 	}
-	p.rcTrig = trigger.NewRCTrigger(cfg.SurvivalThresholdBytes)
-	p.satbTrig = trigger.NewSATBTrigger(bt.BudgetBlocks(), cfg.CleanBlockThreshold, cfg.WastageThreshold)
-	p.recomputeAllocLimit()
+	mode := policy.Static
+	if cfg.AdaptivePacing {
+		mode = policy.Adaptive
+	}
+	p.pacer = policy.NewRCPacer(policy.RCPacerConfig{
+		Mode:                   mode,
+		Collector:              p.Name(),
+		HeapBytes:              cfg.HeapBytes,
+		SurvivalThresholdBytes: cfg.SurvivalThresholdBytes,
+		IncrementThreshold:     cfg.IncrementThreshold,
+		HeapBlocks:             bt.BudgetBlocks(),
+		CleanBlockThreshold:    cfg.CleanBlockThreshold,
+		WastageFraction:        cfg.WastageThreshold,
+	})
 	p.installBlockTrace()
 	p.conc = newConcurrent(p)
 	return p
@@ -352,21 +370,9 @@ func (p *LXR) GovernorTrace() *conctrl.Trace {
 	return nil
 }
 
-// recomputeAllocLimit derives the allocation volume at which the
-// survival-rate trigger fires: the predictor turns "bound expected
-// survivors" into an allocation budget checked with one atomic load.
-func (p *LXR) recomputeAllocLimit() {
-	s := p.rcTrig.Survival.Predict()
-	if s < 0.005 {
-		s = 0.005
-	}
-	limit := int64(float64(p.cfg.SurvivalThresholdBytes) / s)
-	// Never let the trigger exceed half the heap between pauses.
-	if max := int64(p.cfg.HeapBytes) / 2; limit > max {
-		limit = max
-	}
-	p.allocLimit.Store(limit)
-}
+// PacingTrace returns the pacer's archived decision record (harness
+// telemetry, emitted under "pacing" in the -json output).
+func (p *LXR) PacingTrace() *policy.Trace { return p.pacer.Trace() }
 
 // --- mutator state -----------------------------------------------------------
 

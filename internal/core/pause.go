@@ -8,6 +8,7 @@ import (
 	"lxr/internal/immix"
 	"lxr/internal/mem"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 	"lxr/internal/vm"
 )
 
@@ -213,13 +214,31 @@ func (p *LXR) pausePipeline(cause string) string {
 		p.finalizeSATB()
 	}
 
-	// 8. Triggers.
+	// 8. Triggers: feed the epoch's signals to the pacer (survival
+	// observation, decrement-backlog absorption, cumulative runtime
+	// signals for the adaptive load window) — which recomputes the next
+	// epoch's allocation budget — then put the SATB cycle vote to it.
 	survived := p.survived.Load()
 	st.Add(CtrSurvivedBytes, survived)
-	p.rcTrig.ObserveSurvival(allocVol, survived)
-	p.recomputeAllocLimit()
+	es := policy.EpochStats{
+		AllocBytes:       allocVol,
+		SurvivedBytes:    survived,
+		DecBacklog:       int64(len(decs)),
+		AbsorbedDecPause: hadDec,
+	}
+	if p.cfg.AdaptivePacing {
+		// Only adaptive pacing consumes the load signals; static mode
+		// skips the mutator walk inside the stop-the-world window.
+		es.MutBusy, es.GCWork, _, _ = p.vm.ConcSignals()
+	}
+	p.pacer.ObserveEpoch(es)
 	if !p.satbActive.Load() &&
-		p.satbTrig.ShouldStartTrace(cleanYielded, p.bt.InUseBlocks()) {
+		p.pacer.ShouldStartCycle(policy.Signals{
+			CleanYielded: cleanYielded,
+			HeapBlocks:   p.bt.InUseBlocks(),
+			BudgetBlocks: p.bt.BudgetBlocks(),
+			DecBacklog:   int64(len(decs)),
+		}) {
 		p.startSATB()
 		st.Add(CtrPausesSATB, 1)
 		if p.cfg.NoConcurrentSATB {

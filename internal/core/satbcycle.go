@@ -8,6 +8,7 @@ import (
 	"lxr/internal/immix"
 	"lxr/internal/mem"
 	"lxr/internal/obj"
+	"lxr/internal/policy"
 )
 
 // startSATB begins a concurrent trace epoch inside the current pause:
@@ -30,6 +31,10 @@ func (p *LXR) startSATB() {
 	p.tracer.Seed(seeds)
 	p.traceEpochs = 0
 	p.satbActive.Store(true)
+	p.pacer.ObserveCycleStart(policy.Signals{
+		HeapBlocks:   p.bt.InUseBlocks(),
+		BudgetBlocks: p.bt.BudgetBlocks(),
+	})
 }
 
 // selectEvacSets flags defragmentation targets: full blocks whose
@@ -70,7 +75,10 @@ func (p *LXR) finalizeSATB() {
 	p.marks.ClearAll()
 	p.tracer.Finish()
 	p.satbActive.Store(false)
-	p.satbTrig.ObserveLiveBlocks(p.bt.InUseBlocks())
+	p.pacer.ObserveCycleEnd(policy.Signals{
+		HeapBlocks:   p.bt.InUseBlocks(),
+		BudgetBlocks: p.bt.BudgetBlocks(),
+	})
 }
 
 // sweepUnmarked reclaims every mature object the completed trace left

@@ -237,3 +237,62 @@ func TestRunOneAdaptiveGovernorAndIntervals(t *testing.T) {
 		}
 	}
 }
+
+// TestRunOnePacingTrace: every run — static or adaptive — archives a
+// populated pacing record that rides into the JSON summary.
+func TestRunOnePacingTrace(t *testing.T) {
+	spec, _ := workload.ByName("fop")
+	for _, c := range []string{harness.CLXR, harness.CG1, harness.CSerial} {
+		r := harness.RunOne(spec, c, 2, 0, quickOpts(&bytes.Buffer{}))
+		if !r.OK {
+			t.Fatalf("%s did not run", c)
+		}
+		if r.Pacing == nil {
+			t.Fatalf("%s: no pacing trace", c)
+		}
+		if r.Pacing.Mode != "static" {
+			t.Fatalf("%s: default mode %q, want static", c, r.Pacing.Mode)
+		}
+		if r.Pacing.Fired == 0 || len(r.Pacing.Decisions) == 0 {
+			t.Fatalf("%s: pacing trace empty: %+v", c, r.Pacing)
+		}
+		b, err := json.Marshal(r.Summary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), "\"pacing\"") {
+			t.Fatalf("%s: summary JSON missing the pacing key", c)
+		}
+	}
+	// Adaptive mode is recorded as such.
+	opts := quickOpts(&bytes.Buffer{})
+	opts.PacingAdaptive = true
+	r := harness.RunOne(spec, harness.CLXR, 2, 0, opts)
+	if !r.OK || r.Pacing == nil || r.Pacing.Mode != "adaptive" {
+		t.Fatalf("adaptive pacing run: %+v", r.Pacing)
+	}
+}
+
+// TestDriftTrackerFlagsDepartures: windows whose p99 departs more than
+// 2x from the trailing mean are flagged, in either direction, and the
+// first window never is.
+func TestDriftTrackerFlagsDepartures(t *testing.T) {
+	var d harness.DriftTrackerForTest
+	seq := []struct {
+		v    float64
+		want bool
+	}{
+		{10, false}, // no baseline yet
+		{11, false},
+		{12, false}, // trailing mean ~10.5
+		{30, true},  // > 2x mean
+		{12, false}, // mean now dragged up by the spike, 12 is within 2x
+		{4, true},   // < half the (spiked) mean
+		{11, false},
+	}
+	for i, s := range seq {
+		if got := d.Observe(s.v); got != s.want {
+			t.Fatalf("window %d (p99=%v): drift=%v, want %v", i, s.v, got, s.want)
+		}
+	}
+}

@@ -30,7 +30,52 @@ type IntervalReport struct {
 	// window (request workloads only).
 	Requests  int64        `json:"requests,omitempty"`
 	LatencyMS *PhaseDigest `json:"latency_ms,omitempty"`
+
+	// Drift flags a window whose p99 (pause or latency) departs more
+	// than 2x in either direction from the trailing mean of the
+	// preceding windows — a cheap transition locator: warmup ending,
+	// heap-shape changes, a collector falling behind — without the JSON
+	// bloat of adaptively resized windows.
+	Drift bool `json:"drift,omitempty"`
 }
+
+// driftWindows is how many preceding windows the trailing mean covers.
+const driftWindows = 8
+
+// driftTracker flags values departing more than 2x from the trailing
+// mean of the previous observations (the current value never biases its
+// own baseline).
+type driftTracker struct {
+	vals []float64
+}
+
+// observe reports whether v drifts from the trailing mean, then folds v
+// into the baseline.
+func (d *driftTracker) observe(v float64) bool {
+	drift := false
+	if len(d.vals) > 0 {
+		sum := 0.0
+		for _, x := range d.vals {
+			sum += x
+		}
+		mean := sum / float64(len(d.vals))
+		if mean > 0 && (v > 2*mean || v < mean/2) {
+			drift = true
+		}
+	}
+	d.vals = append(d.vals, v)
+	if len(d.vals) > driftWindows {
+		d.vals = d.vals[1:]
+	}
+	return drift
+}
+
+// DriftTrackerForTest exposes the interval reporter's drift detector to
+// the package tests (the reporter itself is wall-clock driven).
+type DriftTrackerForTest struct{ d driftTracker }
+
+// Observe feeds one window's p99 and reports whether it drifts.
+func (t *DriftTrackerForTest) Observe(v float64) bool { return t.d.observe(v) }
 
 // intervalReporter periodically snapshots a run's merged histograms and
 // subtracts the previous snapshot to produce per-window digests. It
@@ -46,6 +91,9 @@ type intervalReporter struct {
 
 	prevPause *telemetry.Histogram
 	prevLat   *telemetry.Histogram
+
+	pauseDrift driftTracker
+	latDrift   driftTracker
 
 	mu      sync.Mutex
 	reports []IntervalReport
@@ -126,17 +174,26 @@ func (r *intervalReporter) observe() {
 	if winPause.Count() > 0 {
 		d := msDigest(winPause)
 		rep.PauseMS = &d
+		if r.pauseDrift.observe(d.P99) {
+			rep.Drift = true
+		}
 	}
 	if winLat != nil && winLat.Count() > 0 {
 		d := msDigest(winLat)
 		rep.LatencyMS = &d
 		rep.Requests = winLat.Count()
+		if r.latDrift.observe(d.P99) {
+			rep.Drift = true
+		}
 	}
 	r.reports = append(r.reports, rep)
 	r.mu.Unlock()
 
 	if r.out != nil {
 		line := fmt.Sprintf("  [%s interval %d @%.0fms] pauses=%d", r.label, rep.Index, rep.EndMS, rep.Pauses)
+		if rep.Drift {
+			line += " DRIFT"
+		}
 		if rep.PauseMS != nil {
 			line += fmt.Sprintf(" gc{p50=%.2f p99=%.2f max=%.2f}", rep.PauseMS.P50, rep.PauseMS.P99, rep.PauseMS.Max)
 		}

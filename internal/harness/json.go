@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lxr/internal/conctrl"
+	"lxr/internal/policy"
 	"lxr/internal/telemetry"
 	"lxr/internal/vm"
 )
@@ -102,6 +103,11 @@ type RunSummary struct {
 	// borrow width was static.
 	Governor *conctrl.Trace `json:"governor,omitempty"`
 
+	// Pacing is the policy pacer's archived decision record: every
+	// fired trigger (kind, signal snapshot, threshold in force) and
+	// every adaptive threshold adjustment, for both pacing modes.
+	Pacing *policy.Trace `json:"pacing,omitempty"`
+
 	// Intervals holds the periodic reporter's per-window pause/latency
 	// digests (lxr-bench -interval). Absent otherwise.
 	Intervals []IntervalReport `json:"intervals,omitempty"`
@@ -174,6 +180,7 @@ func (r *RunResult) Summary() RunSummary {
 		}
 	}
 	s.Governor = r.Governor
+	s.Pacing = r.Pacing
 	s.Intervals = r.Intervals
 	return s
 }

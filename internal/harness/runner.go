@@ -14,6 +14,7 @@ import (
 	"lxr/internal/conctrl"
 	"lxr/internal/core"
 	"lxr/internal/gcwork"
+	"lxr/internal/policy"
 	"lxr/internal/telemetry"
 	"lxr/internal/vm"
 	"lxr/internal/workload"
@@ -61,15 +62,24 @@ func NewPlanOpts(id string, heapBytes int, opts Options) vm.Plan {
 	if gcThreads == 0 {
 		gcThreads = 4
 	}
+	pacing := policy.Static
+	if opts.PacingAdaptive {
+		pacing = policy.Adaptive
+	}
 	lxrCfg := func(c core.Config) vm.Plan {
 		c.HeapBytes, c.GCThreads, c.ConcWorkers = heapBytes, gcThreads, concWorkers
 		c.AdaptiveConc, c.MMUFloor = opts.Adaptive, opts.MMUFloor
+		c.AdaptivePacing = opts.PacingAdaptive
 		return core.New(c)
 	}
-	conc := func(p interface {
+	// setup applies the session options every baseline plan shares:
+	// pacing mode, borrow width, adaptive loan governor.
+	setup := func(p interface {
 		SetConcWorkers(int)
 		SetAdaptive(float64)
+		SetPacing(policy.Mode)
 	}) {
+		p.SetPacing(pacing)
 		if concWorkers > 0 {
 			p.SetConcWorkers(concWorkers)
 		}
@@ -80,7 +90,7 @@ func NewPlanOpts(id string, heapBytes int, opts Options) vm.Plan {
 	switch id {
 	case CG1:
 		p := baselines.NewG1(heapBytes, gcThreads)
-		conc(p)
+		setup(p)
 		return p
 	case CLXR:
 		return lxrCfg(core.Config{})
@@ -92,24 +102,34 @@ func NewPlanOpts(id string, heapBytes int, opts Options) vm.Plan {
 		return lxrCfg(core.Config{NoConcurrentSATB: true, NoLazyDecrements: true})
 	case CShen:
 		p := baselines.NewShenandoah(heapBytes, gcThreads)
-		conc(p)
+		setup(p)
 		return p
 	case CZGC:
 		if p := baselines.NewZGC(heapBytes, gcThreads); p != nil {
-			conc(p)
+			setup(p)
 			return p
 		}
 		return nil
 	case CSerial:
-		return baselines.NewSerial(heapBytes)
+		p := baselines.NewSerial(heapBytes)
+		setup(p)
+		return p
 	case CParallel:
-		return baselines.NewParallel(heapBytes, gcThreads)
+		p := baselines.NewParallel(heapBytes, gcThreads)
+		setup(p)
+		return p
 	case CSemiSpace:
-		return baselines.NewSemiSpace("SemiSpace", heapBytes, gcThreads)
+		p := baselines.NewSemiSpace("SemiSpace", heapBytes, gcThreads)
+		setup(p)
+		return p
 	case CImmix:
-		return baselines.NewImmix(heapBytes, gcThreads, false)
+		p := baselines.NewImmix(heapBytes, gcThreads, false)
+		setup(p)
+		return p
 	case CImmixWB:
-		return baselines.NewImmix(heapBytes, gcThreads, true)
+		p := baselines.NewImmix(heapBytes, gcThreads, true)
+		setup(p)
+		return p
 	}
 	panic("harness: unknown collector " + id)
 }
@@ -132,6 +152,13 @@ type Options struct {
 	// target (0 = pure utilization policy). Implies nothing unless
 	// Adaptive is set.
 	MMUFloor float64
+	// PacingAdaptive drives every collector's collection triggers
+	// adaptively through the policy pacers (-pacing adaptive): LXR's
+	// epoch length scales with load and decrement backlog, G1's IHOP
+	// becomes headroom-based, Shenandoah's free-fraction trigger backs
+	// off under churn. Off, the pacers reproduce the historical trigger
+	// behavior exactly.
+	PacingAdaptive bool
 	// Interval, when non-zero, runs a periodic reporter beside every
 	// execution: each window's pause and request-latency percentiles
 	// are computed by differencing cumulative histogram snapshots
@@ -215,17 +242,24 @@ type RunResult struct {
 	// when the borrow width was static).
 	Governor *conctrl.Trace
 
+	// Pacing is the pacer's archived decision record: every fired
+	// trigger with its signal snapshot and the threshold in force, plus
+	// every adaptive threshold adjustment.
+	Pacing *policy.Trace
+
 	// Intervals holds the periodic reporter's per-window digests
 	// (Options.Interval; nil otherwise).
 	Intervals []IntervalReport
 }
 
-// gcTelemetry is implemented by plans exposing gcwork pool utilization.
+// gcTelemetry is implemented by plans exposing gcwork pool utilization
+// and pacing records.
 type gcTelemetry interface {
 	GCWorkerStats() []gcwork.WorkerStat
 	GCLoanStats() (loans, items int64)
 	ConcWorkers() int
 	GovernorTrace() *conctrl.Trace
+	PacingTrace() *policy.Trace
 }
 
 // PauseHistMerged returns the union of the per-phase pause histograms
@@ -334,6 +368,7 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 		res.WorkerStats = t.GCWorkerStats()
 		res.Loans, res.LoanItems = t.GCLoanStats()
 		res.Governor = t.GovernorTrace()
+		res.Pacing = t.PacingTrace()
 	}
 	return res
 }

@@ -2,6 +2,7 @@ package immix
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"lxr/internal/mem"
 )
@@ -24,8 +25,14 @@ type LargeSpace struct {
 
 	mu      sync.Mutex
 	runs    []run               // free runs, kept sorted by start
-	inUse   int                 // blocks occupied by live large objects
 	objects map[mem.Address]int // object start -> blocks occupied
+
+	// inUse counts blocks occupied by live large objects. Written only
+	// under mu, but read lock-free: occupancy feeds pacing triggers
+	// evaluated on GC safepoint paths and on the conctrl controller
+	// goroutine (with the controller lock held), which must stay
+	// non-blocking.
+	inUse atomic.Int32
 }
 
 type run struct{ start, n int }
@@ -39,10 +46,9 @@ func newLargeSpace(bt *BlockTable, first, last int) *LargeSpace {
 }
 
 // BlocksInUse returns the number of LOS blocks holding live objects.
+// Lock-free: safe from trigger-check paths that must not block.
 func (ls *LargeSpace) BlocksInUse() int {
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	return ls.inUse
+	return int(ls.inUse.Load())
 }
 
 // Alloc reserves enough contiguous blocks for size bytes and returns the
@@ -52,7 +58,7 @@ func (ls *LargeSpace) Alloc(size int) (mem.Address, bool) {
 	blocks := (size + mem.BlockSize - 1) / mem.BlockSize
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	if ls.bt.budgetBlocks-int(ls.bt.inUse.Load())-ls.inUse < blocks {
+	if ls.bt.budgetBlocks-int(ls.bt.inUse.Load())-int(ls.inUse.Load()) < blocks {
 		return mem.Nil, false
 	}
 	for i, r := range ls.runs {
@@ -63,7 +69,7 @@ func (ls *LargeSpace) Alloc(size int) (mem.Address, bool) {
 			} else {
 				ls.runs[i] = run{r.start + blocks, r.n - blocks}
 			}
-			ls.inUse += blocks
+			ls.inUse.Add(int32(blocks))
 			addr := mem.BlockStart(start)
 			ls.objects[addr] = blocks
 			ls.bt.SetState(start, StateLargeHead)
@@ -93,7 +99,7 @@ func (ls *LargeSpace) Free(addr mem.Address) {
 	for b := start; b < start+blocks; b++ {
 		ls.bt.SetState(b, StateFree)
 	}
-	ls.inUse -= blocks
+	ls.inUse.Add(-int32(blocks))
 	ls.insertRun(run{start, blocks})
 }
 

@@ -1,0 +1,330 @@
+// Package policy is the shared GC pacing subsystem: it owns the "when
+// to take a pause / when to start a concurrent cycle" decision for
+// every collector in the repository.
+//
+// Each collector used to hard-code its own disconnected heuristic —
+// LXR's survival-budget RC trigger and SATB clean-block/wastage votes,
+// G1's fixed 45% IHOP plus young-budget check, Shenandoah's 30%-free
+// watch, the STW collectors' occupancy tests — none of which saw the
+// windowed utilization estimator the conctrl governor already computes.
+// This package puts one Pacer contract in front of all of them, fed by
+// cheap cumulative signals (vm.VM.ConcSignals, allocation volume,
+// survival observations, decrement-backlog depth, governor utilization
+// windows), and makes the thresholds adaptive:
+//
+//   - LXR's RC epoch length scales with load: epochs stretch when the
+//     machine is idle and shorten when the decrement backlog starts
+//     lengthening the next pause (RCPacer).
+//   - G1's IHOP becomes headroom-based: the mark-start threshold backs
+//     away from the heap-full edge by the occupancy growth a concurrent
+//     mark cycle is predicted to consume (G1Pacer).
+//   - Shenandoah's free-fraction trigger backs off under churn: high
+//     allocation pressure during recent cycles lowers the occupancy
+//     threshold so the next cycle starts with more headroom
+//     (FreeFractionPacer).
+//
+// In Static mode every pacer reproduces the historical per-collector
+// heuristic exactly (guarded by the trace-replay tests), so adaptive
+// pacing is a strict opt-in (-pacing adaptive).
+//
+// Every firing decision and every threshold adjustment is archived with
+// its signal snapshot and the threshold in force; the harness publishes
+// the record under the "pacing" key of the -json output.
+package policy
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects between the historical fixed thresholds and the
+// signal-driven adaptive ones.
+type Mode int
+
+const (
+	// Static reproduces each collector's historical trigger behavior
+	// exactly.
+	Static Mode = iota
+	// Adaptive drives the thresholds from the observed signals.
+	Adaptive
+)
+
+func (m Mode) String() string {
+	if m == Adaptive {
+		return "adaptive"
+	}
+	return "static"
+}
+
+// Signals is the snapshot of cheap cumulative signals a pacing decision
+// is made from. Collectors fill the fields that exist for them; the
+// rest stay zero.
+type Signals struct {
+	// AllocBytes is the volume allocated since the last epoch/pause.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	// LoggedFields is the barrier slow-path count since the last epoch.
+	LoggedFields int64 `json:"logged_fields,omitempty"`
+	// HeapBlocks is current occupancy in blocks (each collector feeds
+	// the same population its historical heuristic read: LXR main-space
+	// blocks, G1/Shenandoah main + large-object blocks, SemiSpace its
+	// current half).
+	HeapBlocks int `json:"heap_blocks,omitempty"`
+	// BudgetBlocks is the heap budget in blocks.
+	BudgetBlocks int `json:"budget_blocks,omitempty"`
+	// BudgetRemaining is how many blocks the budget still allows.
+	BudgetRemaining int `json:"budget_remaining,omitempty"`
+	// YoungBlocks is the young-generation block count since the last
+	// collection (G1).
+	YoungBlocks int `json:"young_blocks,omitempty"`
+	// CleanYielded is how many clean blocks the last young sweep
+	// yielded (LXR's SATB clean-block vote).
+	CleanYielded int `json:"clean_yielded,omitempty"`
+	// DecBacklog is the lazy-decrement backlog depth in items (LXR).
+	DecBacklog int64 `json:"dec_backlog,omitempty"`
+}
+
+// EpochStats is the post-pause feedback a collector folds into its
+// pacer's predictors once per epoch.
+type EpochStats struct {
+	// AllocBytes and SurvivedBytes drive the survival-rate predictor.
+	AllocBytes    int64
+	SurvivedBytes int64
+	// DecBacklog is the decrement batch handed to the concurrent drain
+	// at this pause.
+	DecBacklog int64
+	// AbsorbedDecPause reports that the pause had to finish the previous
+	// epoch's decrements before anything else — the backlog lengthened
+	// this pause, the signal the adaptive epoch length shortens on.
+	AbsorbedDecPause bool
+	// MutBusy and GCWork are the cumulative runtime busy/work signals
+	// (vm.VM.ConcSignals); the pacer differences successive epochs into
+	// load windows. Collectors only need to fill them under adaptive
+	// pacing — static pacers ignore them, so the caller can skip the
+	// signal walk inside the stop-the-world window.
+	MutBusy time.Duration
+	GCWork  time.Duration
+}
+
+// Pacer is the pacing contract every collector's start decisions route
+// through. Decision methods are safe to call concurrently with the
+// observation methods; the observation methods themselves are called
+// from pause/cycle coordinators (already serialised per collector).
+type Pacer interface {
+	// ShouldCollect reports whether a collection is due: an RC pause
+	// (LXR), a young evacuation pause (G1), or a full STW collection
+	// (SemiSpace/Immix). It runs on mutator safepoint paths and must
+	// stay cheap when not due.
+	ShouldCollect(s Signals) bool
+	// ShouldStartCycle reports whether a concurrent cycle should begin:
+	// an SATB trace (LXR), a concurrent mark (G1), a mark/evac/update
+	// pipeline (Shenandoah/ZGC). It may run on a concurrent controller
+	// goroutine with the controller lock held, so it must be
+	// non-blocking: atomics and pacer-owned state only.
+	ShouldStartCycle(s Signals) bool
+	// ObserveCycleStart records that a concurrent cycle began.
+	ObserveCycleStart(s Signals)
+	// ObserveCycleEnd records that a concurrent cycle completed; the
+	// headroom-based pacers difference occupancy across the cycle here.
+	ObserveCycleEnd(s Signals)
+	// ObserveEpoch folds one epoch's feedback into the predictors and
+	// recomputes the adaptive thresholds.
+	ObserveEpoch(e EpochStats)
+	// Trace snapshots the archived pacing record.
+	Trace() *Trace
+}
+
+// WindowObserver is an optional Pacer extension: pacers whose adaptive
+// policy consumes the conctrl utilization-window export (windowed
+// mutator utilization, total CPU load fraction) implement it, and the
+// collectors wire it as the controller's WindowSink. Pacers that adapt
+// on cycle boundaries only (G1, Shenandoah) deliberately do not — a
+// wired sink would make the controller sample windows nobody reads.
+type WindowObserver interface {
+	ObserveWindow(util, load float64)
+}
+
+// Decision archives one fired pacing decision. Identical consecutive
+// fires (same kind, same threshold, within repeatWindow) collapse into
+// the Repeats count of the first, so a mutator burst polling an
+// already-due trigger cannot flood the archive.
+type Decision struct {
+	AtMS      float64 `json:"at_ms"`
+	Kind      string  `json:"kind"`
+	Signal    float64 `json:"signal"`
+	Threshold float64 `json:"threshold"`
+	Repeats   int64   `json:"repeats,omitempty"`
+	Signals   Signals `json:"signals"`
+}
+
+// Adjustment archives one adaptive threshold move.
+type Adjustment struct {
+	AtMS  float64 `json:"at_ms"`
+	Kind  string  `json:"kind"`
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+	Cause string  `json:"cause"`
+}
+
+// Trace is the archived pacing record of one run — the harness emits it
+// under the "pacing" key of the -json output.
+type Trace struct {
+	Collector string `json:"collector"`
+	Mode      string `json:"mode"`
+	// Fired counts every due decision, including the ones collapsed
+	// into Repeats and the ones dropped past the archive cap.
+	Fired int64 `json:"fired"`
+	// Dropped and DroppedAdjustments count entries past the archive
+	// caps, plus decisions skipped because the archive mutex was busy
+	// (the fire path must never block under the conctrl controller
+	// lock). The caps bound memory, not the counters — nothing is
+	// silently lost: decisions + repeats + dropped always equals fired.
+	Dropped            int64 `json:"dropped,omitempty"`
+	DroppedAdjustments int64 `json:"dropped_adjustments,omitempty"`
+	// Thresholds is each trigger kind's threshold currently in force.
+	Thresholds  map[string]float64 `json:"thresholds,omitempty"`
+	Decisions   []Decision         `json:"decisions"`
+	Adjustments []Adjustment       `json:"adjustments,omitempty"`
+}
+
+const (
+	maxDecisions   = 4096
+	maxAdjustments = 1024
+	// repeatWindow is how long an identical consecutive fire keeps
+	// collapsing into the previous decision's Repeats count.
+	repeatWindow = 5 * time.Millisecond
+)
+
+// recorder is the decision archive every concrete pacer embeds.
+type recorder struct {
+	collector string
+	mode      Mode
+	start     time.Time
+
+	fired     atomic.Int64
+	contended atomic.Int64 // decisions dropped because the archive was busy
+
+	mu          sync.Mutex
+	dropped     int64 // decisions past the archive cap
+	droppedAdj  int64 // adjustments past the archive cap
+	decisions   []Decision
+	adjustments []Adjustment
+	thresholds  map[string]float64
+}
+
+func (r *recorder) init(collector string, mode Mode) {
+	r.collector = collector
+	r.mode = mode
+	r.start = time.Now()
+	r.thresholds = map[string]float64{}
+}
+
+func (r *recorder) sinceMS() float64 {
+	return float64(time.Since(r.start)) / float64(time.Millisecond)
+}
+
+// fire archives one due decision. It must never block: ShouldStartCycle
+// runs on the conctrl controller goroutine with the controller lock
+// held, and a pause's Quiesce waits on that lock — so if the archive
+// mutex is busy (a Trace snapshot copying the record), the decision is
+// counted as contention-dropped rather than waited for. The totals stay
+// exact: decisions + repeats + dropped = fired.
+func (r *recorder) fire(kind string, signal, threshold float64, s Signals) {
+	r.fired.Add(1)
+	at := r.sinceMS()
+	if !r.mu.TryLock() {
+		r.contended.Add(1)
+		return
+	}
+	defer r.mu.Unlock()
+	if n := len(r.decisions); n > 0 {
+		last := &r.decisions[n-1]
+		if last.Kind == kind && last.Threshold == threshold &&
+			at-last.AtMS < float64(repeatWindow)/float64(time.Millisecond) {
+			last.Repeats++
+			return
+		}
+	}
+	if len(r.decisions) >= maxDecisions {
+		r.dropped++
+		return
+	}
+	r.decisions = append(r.decisions, Decision{
+		AtMS: at, Kind: kind, Signal: signal, Threshold: threshold, Signals: s,
+	})
+}
+
+// setThreshold publishes the threshold currently in force for a kind.
+func (r *recorder) setThreshold(kind string, v float64) {
+	r.mu.Lock()
+	r.thresholds[kind] = v
+	r.mu.Unlock()
+}
+
+// adjust archives one adaptive threshold move and publishes the new
+// value.
+func (r *recorder) adjust(kind string, from, to float64, cause string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.thresholds[kind] = to
+	if len(r.adjustments) >= maxAdjustments {
+		r.droppedAdj++
+		return
+	}
+	r.adjustments = append(r.adjustments, Adjustment{
+		AtMS: r.sinceMS(), Kind: kind, From: from, To: to, Cause: cause,
+	})
+}
+
+// trace snapshots the archive.
+func (r *recorder) trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &Trace{
+		Collector:          r.collector,
+		Mode:               r.mode.String(),
+		Fired:              r.fired.Load(),
+		Dropped:            r.dropped + r.contended.Load(),
+		DroppedAdjustments: r.droppedAdj,
+		Thresholds:         make(map[string]float64, len(r.thresholds)),
+		Decisions:          append([]Decision(nil), r.decisions...),
+		Adjustments:        append([]Adjustment(nil), r.adjustments...),
+	}
+	for k, v := range r.thresholds {
+		t.Thresholds[k] = v
+	}
+	return t
+}
+
+// Trace implements Pacer for every embedding pacer.
+func (r *recorder) Trace() *Trace { return r.trace() }
+
+// noCycle provides no-op cycle observation for pacers of collectors
+// without a concurrent cycle (SemiSpace, STW Immix).
+type noCycle struct{}
+
+func (noCycle) ShouldStartCycle(Signals) bool { return false }
+func (noCycle) ObserveCycleStart(Signals)     {}
+func (noCycle) ObserveCycleEnd(Signals)       {}
+
+// loadCell stores a CPU-load estimate lock-free, timestamped so a
+// consumer fed by several sources (the conctrl window export, the
+// pacer's own epoch differencing) can pick whichever sampled last.
+type loadCell struct {
+	bits atomic.Uint64
+	at   atomic.Int64 // UnixNano of the last store; 0 = never stored
+}
+
+func (c *loadCell) store(v float64) {
+	c.bits.Store(math.Float64bits(v))
+	c.at.Store(time.Now().UnixNano())
+}
+
+func (c *loadCell) load() (v float64, at int64, ok bool) {
+	at = c.at.Load()
+	if at == 0 {
+		return 0, 0, false
+	}
+	return math.Float64frombits(c.bits.Load()), at, true
+}

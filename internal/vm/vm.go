@@ -421,15 +421,19 @@ func (v *VM) FixRoots(f func(obj.Ref) obj.Ref) {
 	}
 }
 
-// ConcSignals supplies the adaptive loan governor's cumulative feedback
-// inputs (conctrl.Signals): total mutator busy time — live mutators'
-// elapsed-minus-parked time plus the busy time of mutators that already
-// deregistered — total collector work, total stop-the-world time, and
-// the live mutator count. Everything but the short per-mutator walk is
-// an atomic load, so it is cheap enough to sample every few
-// milliseconds. The live-busy estimate counts a currently parked
-// mutator as busy until its park is recorded; windowed consumers clamp
-// the resulting small negative deltas.
+// ConcSignals supplies the cumulative feedback inputs every windowed
+// estimator differences (conctrl.Signals): total mutator busy time —
+// live mutators' elapsed-minus-parked time plus the busy time of
+// mutators that already deregistered — total collector work, total
+// stop-the-world time, and the live mutator count. Two consumers
+// sample it: the conctrl controller (the adaptive loan-width governor
+// and its WindowSink export to the pacing policies) every few
+// milliseconds, and — under adaptive pacing only — each collector's
+// pause coordinator once per epoch (policy.EpochStats). Everything but
+// the short per-mutator walk is an
+// atomic load, so both are cheap. The live-busy estimate counts a
+// currently parked mutator as busy until its park is recorded;
+// windowed consumers clamp the resulting small negative deltas.
 func (v *VM) ConcSignals() (mutBusy, gcWork, pause time.Duration, mutators int) {
 	now := time.Now()
 	v.mu.Lock()
