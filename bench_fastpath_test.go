@@ -1,0 +1,143 @@
+// Mutator fast-path benchmarks: ns/alloc (small/medium/large),
+// ns/ptr-store on the barrier fast and slow paths, and ns/line-scan,
+// for LXR and the barrier-bearing baselines. These are `go test -bench`
+// wrappers over the same operations internal/fastbench samples for
+// BENCH_fastpath.json; here collections are left to each collector's
+// own triggers (or forced between slow-path rounds), so ns/op includes
+// the steady-state GC interleaving a real mutator would see.
+package lxr_test
+
+import (
+	"testing"
+
+	"lxr/internal/baselines"
+	"lxr/internal/core"
+	"lxr/internal/immix"
+	"lxr/internal/mem"
+	"lxr/internal/meta"
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+const fpHeap = 64 << 20
+
+func fpPlan(b *testing.B, name string) vm.Plan {
+	b.Helper()
+	switch name {
+	case "LXR":
+		return core.New(core.Config{HeapBytes: fpHeap, GCThreads: 2})
+	case "Immix":
+		return baselines.NewImmix(fpHeap, 2, false)
+	case "Immix+WB":
+		return baselines.NewImmix(fpHeap, 2, true)
+	case "G1":
+		return baselines.NewG1(fpHeap, 2)
+	}
+	b.Fatalf("unknown collector %s", name)
+	return nil
+}
+
+var fpCollectors = []string{"LXR", "Immix", "Immix+WB", "G1"}
+
+func benchAlloc(b *testing.B, payload int) {
+	for _, name := range fpCollectors {
+		b.Run(name, func(b *testing.B) {
+			v := vm.New(fpPlan(b, name), 0)
+			defer v.Shutdown()
+			m := v.RegisterMutator(1)
+			defer m.Deregister()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Alloc(0, 1, payload)
+			}
+		})
+	}
+}
+
+func BenchmarkFastpathAllocSmall(b *testing.B)  { benchAlloc(b, 8) }
+func BenchmarkFastpathAllocMedium(b *testing.B) { benchAlloc(b, 1008) }
+func BenchmarkFastpathAllocLarge(b *testing.B)  { benchAlloc(b, 20<<10) }
+
+// BenchmarkFastpathStoreFast: repeated stores to a fresh object's
+// fields. With no collection the fields stay Logged, so every store is
+// the barrier fast path (for LXR: one field-log load plus the store).
+func BenchmarkFastpathStoreFast(b *testing.B) {
+	for _, name := range fpCollectors {
+		b.Run(name, func(b *testing.B) {
+			v := vm.New(fpPlan(b, name), 0)
+			defer v.Shutdown()
+			m := v.RegisterMutator(1)
+			defer m.Deregister()
+			src := m.Alloc(0, 64, 0)
+			val := m.Alloc(0, 0, 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Store(src, i&63, val)
+			}
+		})
+	}
+}
+
+// BenchmarkFastpathStoreSlow: first store to each armed field of an
+// epoch. Rooted, promoted objects have Unlogged fields; a forced pause
+// every full round re-arms exactly the fields logged in that round
+// (outside the timer).
+func BenchmarkFastpathStoreSlow(b *testing.B) {
+	for _, name := range fpCollectors {
+		b.Run(name, func(b *testing.B) {
+			v := vm.New(fpPlan(b, name), 0)
+			defer v.Shutdown()
+			const nObjs, slots = 64, 64
+			m := v.RegisterMutator(nObjs + 1)
+			defer m.Deregister()
+			for i := 0; i < nObjs; i++ {
+				m.Roots[i] = m.Alloc(0, slots, 0)
+			}
+			m.Roots[nObjs] = m.Alloc(0, 0, 16)
+			objs := make([]obj.Ref, nObjs)
+			var val obj.Ref
+			rearm := func() {
+				m.RequestGC()
+				for i := range objs {
+					objs[i] = m.Roots[i]
+				}
+				val = m.Roots[nObjs]
+			}
+			rearm()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := i % (nObjs * slots)
+				if i > 0 && n == 0 {
+					b.StopTimer()
+					rearm() // re-arm the fields logged this round
+					b.StartTimer()
+				}
+				m.Store(objs[n/slots], n%slots, val)
+			}
+		})
+	}
+}
+
+// BenchmarkFastpathLineScan: the recycled-block free-line span walk
+// over a ~50%-occupied RC table, per block scanned (128 lines).
+func BenchmarkFastpathLineScan(b *testing.B) {
+	bt := immix.NewBlockTable(immix.Config{HeapBytes: 8 << 20})
+	rc := meta.NewRCTable(bt.Arena)
+	nBlocks := bt.BudgetBlocks()
+	rng := uint64(0x9e3779b97f4a7c15)
+	for blk := 1; blk < nBlocks; blk++ {
+		for l := 0; l < mem.LinesPerBlock; l++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if rng&1 == 0 {
+				rc.Set(mem.LineStart(blk*mem.LinesPerBlock+l), 1)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := 1 + i%(nBlocks-1)
+		immix.ScanSpans(rc, blk*mem.LinesPerBlock)
+	}
+}

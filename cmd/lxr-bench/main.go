@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"lxr/internal/fastbench"
 	"lxr/internal/harness"
 	"lxr/internal/workload"
 )
@@ -50,8 +52,31 @@ func main() {
 		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
 		jsonOut    = flag.String("json", "", "write run summaries as JSON to this file ('-' = stdout)")
 		histOut    = flag.String("hist", "", "write full latency/pause histogram dumps as JSON to this file ('-' = stdout)")
+		fastpath   = flag.String("fastpath", "", "run the mutator fast-path microbench family (ns/alloc, ns/ptr-store fast+slow, ns/line-scan for LXR and the barrier-bearing baselines) and write the report to this file ('-' = stdout); other experiment flags are ignored")
+		fpSamples  = flag.Int("fpsamples", 5, "timed samples per fast-path benchmark (with -fastpath)")
+		compareTo  = flag.String("compare", "", "compare two BENCH_*.json artifacts: -compare OLD.json NEW.json (fastpath reports, histogram dumps, or run summaries); exits 1 if a noise-aware regression is found")
 	)
 	flag.Parse()
+
+	if *compareTo != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintf(os.Stderr, "usage: lxr-bench -compare OLD.json NEW.json\n")
+			os.Exit(2)
+		}
+		regressions, err := harness.CompareFiles(os.Stdout, *compareTo, flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *fastpath != "" {
+		runFastpath(*fastpath, *fpSamples)
+		return
+	}
 
 	known := map[string]bool{}
 	for _, id := range experimentOrder {
@@ -199,3 +224,40 @@ func main() {
 
 // experimentOrder is the canonical experiment list ("-experiment all").
 var experimentOrder = []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity", "heapsens"}
+
+// runFastpath runs the fast-path microbench family and writes the
+// report (BENCH_fastpath.json) with the same temp-file+rename
+// discipline as the experiment outputs.
+func runFastpath(out string, samples int) {
+	rep := fastbench.Run(fastbench.Options{Samples: samples, Log: os.Stdout})
+	write := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if out == "-" {
+		if err := write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "write: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tmp := out + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create %s: %v\n", tmp, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", tmp, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "close %s: %v\n", tmp, err)
+		os.Exit(1)
+	}
+	if err := os.Rename(tmp, out); err != nil {
+		fmt.Fprintf(os.Stderr, "rename %s: %v\n", tmp, err)
+		os.Exit(1)
+	}
+}

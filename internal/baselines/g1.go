@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -202,6 +203,7 @@ func (p *G1) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
 }
 
 func (p *G1) logSlot(ms *g1Mut, slot mem.Address) {
+	spins := 0
 	for {
 		switch p.logs.Get(slot) {
 		case meta.LogLogged:
@@ -218,6 +220,12 @@ func (p *G1) logSlot(ms *g1Mut, slot mem.Address) {
 				return
 			}
 		default:
+			// Busy: bounded spin, then yield — a preempted logger must
+			// not stall this store indefinitely.
+			if spins++; spins >= logSpinBudget {
+				spins = 0
+				runtime.Gosched()
+			}
 		}
 	}
 }
@@ -233,12 +241,16 @@ func (p *G1) ReadRef(m *vm.Mutator, src obj.Ref, i int) obj.Ref {
 // copy reserve (real G1 reserves to-space the same way to avoid
 // evacuation failure).
 func (p *G1) PollSafepoint(m *vm.Mutator) {
+	// Capture the epoch BEFORE consulting the pacer: if another
+	// mutator's pause completes in between, the signals judged here
+	// were pre-pause state and CollectIfEpoch discards the trigger
+	// instead of running a back-to-back collection.
+	e := p.vm.GCEpoch()
 	due := p.pacer.ShouldCollect(policy.Signals{
 		YoungBlocks:     int(p.youngBlocks.Load()),
 		BudgetRemaining: p.bt.BudgetRemaining(),
 	})
 	if due && p.gcScheduled.CompareAndSwap(false, true) {
-		e := p.vm.GCEpoch()
 		p.vm.CollectIfEpoch(m, e, func() { p.collectLocked() })
 		p.gcScheduled.Store(false)
 	}

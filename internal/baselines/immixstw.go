@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"runtime"
 	"time"
 
 	"lxr/internal/gcwork"
@@ -48,6 +49,10 @@ func NewImmix(heapBytes, gcThreads int, withBarrier bool) *Immix {
 	return p
 }
 
+// logSpinBudget bounds the busy-wait on a field-log state held Busy by
+// a racing logger before yielding the processor.
+const logSpinBudget = 64
+
 type immixMut struct {
 	alloc  immix.Allocator
 	decBuf gcwork.AddrBuffer
@@ -57,6 +62,15 @@ type immixMut struct {
 type immixLines struct{ t *meta.BitTable }
 
 func (l immixLines) LineFree(idx int) bool { return !l.t.Get(mem.LineStart(idx)) }
+
+// FreeLineBits implements immix.LineBitsSource: for a line-granularity
+// bit table the global line index is the bit index, so a block's 128
+// free-line bits are four inverted word loads.
+func (l immixLines) FreeLineBits(firstLine int, bm *[mem.LinesPerBlock / 32]uint32) {
+	for i := range bm {
+		bm[i] = ^l.t.Word(firstLine/32 + i)
+	}
+}
 
 // Boot implements vm.Plan.
 func (p *Immix) Boot(v *vm.VM) {
@@ -124,6 +138,7 @@ func (p *Immix) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
 func (p *Immix) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
 	slot := p.om.SlotAddr(src, i)
 	if p.barrier && p.logs.Get(slot) != 0 {
+		spins := 0
 		for {
 			switch p.logs.Get(slot) {
 			case meta.LogLogged:
@@ -138,6 +153,12 @@ func (p *Immix) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
 				ms.modBuf.Push(slot)
 				p.logs.FinishLog(slot)
 			default:
+				// Busy: bounded spin, then yield — a preempted logger
+				// must not stall this store indefinitely.
+				if spins++; spins >= logSpinBudget {
+					spins = 0
+					runtime.Gosched()
+				}
 				continue
 			}
 			break

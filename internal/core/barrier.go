@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"lxr/internal/immix"
 	"lxr/internal/obj"
@@ -9,13 +10,34 @@ import (
 	"lxr/internal/vm"
 )
 
-// Alloc implements vm.Plan. The common case is a thread-local Immix bump
-// allocation; objects above half a block go to the large object space.
+// allocPublishBytes is the grain at which a mutator's private
+// allocation counters are published to the global trigger counters (and
+// the trigger re-evaluated). Coarse enough that the allocation fast
+// path almost never touches a shared cache line, fine enough that the
+// trigger fires within numMutators x 16 KB of the configured budget —
+// noise against allocation budgets that start in the megabytes.
+const allocPublishBytes = 16 << 10
+
+// logSpinBudget bounds the busy-wait on a field-log state held Busy by
+// a racing logger before yielding the processor: a preempted winner
+// must not stall the store indefinitely.
+const logSpinBudget = 64
+
+// Alloc implements vm.Plan. The common case is a thread-local Immix
+// bump allocation whose bookkeeping is entirely mutator-local: bump
+// bytes accumulate in the allocator's SinceEpoch counter and the object
+// count in mutState, harvested at safepoints and pauses, so the fast
+// path performs no atomic operations. Objects above half a block go to
+// the large object space. Layout validation is a verify-mode check
+// (LXR_VERIFY), not a per-allocation branch chain.
 func (p *LXR) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
-	m.Safepoint()
 	ms := m.PlanState.(*mutState)
-	if err := l.Validate(); err != nil {
-		panic(err)
+	p.pollTrigger(m, ms)
+	m.PollPark()
+	if verifyEnabled {
+		if err := l.Validate(); err != nil {
+			panic(err)
+		}
 	}
 	for attempt := 0; ; attempt++ {
 		var a obj.Ref
@@ -26,6 +48,7 @@ func (p *LXR) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
 			a = addr
 			if ok {
 				p.losNewMu.q.Push(a)
+				ms.largeSince += int64(l.Size)
 			}
 		} else {
 			var addr = obj.Ref(0)
@@ -34,8 +57,7 @@ func (p *LXR) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
 		}
 		if ok {
 			p.om.WriteHeader(a, l)
-			p.allocSince.Add(int64(l.Size))
-			p.allocObjects.Add(1)
+			ms.allocObjs++
 			return a
 		}
 		// Heap full: collect and retry. The first retry is a regular RC
@@ -54,13 +76,16 @@ func (p *LXR) Alloc(m *vm.Mutator, l obj.Layout) obj.Ref {
 }
 
 // WriteRef implements vm.Plan: LXR's field-logging write barrier
-// (Fig. 3). The fast path is one metadata load; the slow path captures
-// the to-be-overwritten referent (for coalescing decrements and the SATB
-// snapshot) and the field address (for the coalescing increment at the
-// next pause), once per field per epoch. Remembered-set maintenance for
-// in-flight evacuation sets piggybacks on the store.
+// (Fig. 3). The fast path is exactly one metadata load (the field-log
+// state) plus the store: the slow path captures the to-be-overwritten
+// referent (for coalescing decrements and the SATB snapshot) and the
+// field address (for the coalescing increment at the next pause), once
+// per field per epoch. Remembered-set maintenance for in-flight
+// evacuation sets is guarded by the mutator's BarrierWatch flag — an
+// epoch-cached predicate refreshed at each pause — so when no
+// evacuation set is armed (the common state) the store does no SATB or
+// block-flag checks, and no PlanState type assertion, at all.
 func (p *LXR) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
-	ms := m.PlanState.(*mutState)
 	if verifyEnabled && !val.IsNil() {
 		if !p.plausibleRef(val) {
 			panic("lxr verify: mutator stored implausible ref")
@@ -71,16 +96,17 @@ func (p *LXR) WriteRef(m *vm.Mutator, src obj.Ref, i int, val obj.Ref) {
 	}
 	slot := p.om.SlotAddr(src, i)
 	if p.logs.Get(slot) != 0 { // isUnlogged (or busy)
-		p.logField(ms, slot)
+		p.logField(m.PlanState.(*mutState), slot)
 	}
 	p.om.A.StoreRef(slot, val)
-	if !val.IsNil() && p.satbActive.Load() && p.om.A.Contains(val) &&
+	if m.BarrierWatch && !val.IsNil() && p.om.A.Contains(val) &&
 		p.bt.HasFlag(val.Block(), immix.FlagDefrag) {
 		p.rem.Record(slot, val.Block())
 	}
 }
 
 func (p *LXR) logField(ms *mutState, slot obj.Ref) {
+	spins := 0
 	for {
 		switch p.logs.Get(slot) {
 		case 0: // logged by a racing thread; its capture is published
@@ -94,11 +120,15 @@ func (p *LXR) logField(ms *mutState, slot obj.Ref) {
 				ms.modBuf.Push(slot)
 				p.logs.FinishLog(slot)
 				ms.slowOps++
-				p.logsSince.Add(1)
-				p.barrierSlow.Add(1)
 				return
 			}
-		default: // busy: wait for the winner to capture the old value
+		default:
+			// Busy: the winner is capturing the old value. Bounded spin,
+			// then yield — a preempted winner must not stall this store.
+			if spins++; spins >= logSpinBudget {
+				spins = 0
+				runtime.Gosched()
+			}
 		}
 	}
 }
@@ -109,15 +139,26 @@ func (p *LXR) ReadRef(m *vm.Mutator, src obj.Ref, i int) obj.Ref {
 	return p.om.LoadSlot(src, i)
 }
 
-// PollSafepoint implements vm.Plan: the RC trigger fast path. The
-// pacer folds the survival-rate trigger into a single allocation-budget
-// comparison (policy.RCPacer.AllocLimit); the increment threshold is
-// checked when configured.
-func (p *LXR) PollSafepoint(m *vm.Mutator) {
-	ms, _ := m.PlanState.(*mutState)
-	if ms != nil && ms.alloc.SinceEpoch > 0 {
-		p.allocSince.Add(0) // keep counter hot; actual adds happen in Alloc
+// pollTrigger is the RC trigger poll shared by Alloc and PollSafepoint.
+// The fast path is two mutator-local comparisons: until this mutator
+// has accumulated allocPublishBytes of unpublished allocation (or, with
+// an increment threshold configured, a comparable batch of unpublished
+// barrier slow paths), nothing global is touched. Past the grain, the
+// private counters are published and the pacer consulted.
+//
+// The GC epoch is captured BEFORE the pacer reads the signals: if
+// another mutator's pause completes in between, the signals this poll
+// judged were pre-pause state and the CollectIfEpoch guard discards the
+// trigger instead of starting a back-to-back collection the pacer never
+// asked for.
+func (p *LXR) pollTrigger(m *vm.Mutator, ms *mutState) {
+	pending := ms.alloc.SinceEpoch + ms.largeSince
+	if pending < allocPublishBytes &&
+		(p.cfg.IncrementThreshold <= 0 || ms.slowOps-ms.slowPub < allocPublishBytes/16) {
+		return
 	}
+	p.publishCounters(ms)
+	e := p.vm.GCEpoch()
 	var logged int64
 	if p.cfg.IncrementThreshold > 0 {
 		logged = p.logsSince.Load()
@@ -127,9 +168,32 @@ func (p *LXR) PollSafepoint(m *vm.Mutator) {
 		LoggedFields: logged,
 	})
 	if due && p.gcScheduled.CompareAndSwap(false, true) {
-		e := p.vm.GCEpoch()
 		p.vm.CollectIfEpoch(m, e, func() { p.collectRC(pauseCauseTrigger) })
 		p.gcScheduled.Store(false)
+	}
+}
+
+// publishCounters folds the mutator's unpublished allocation volume and
+// barrier slow paths into the global trigger counters.
+func (p *LXR) publishCounters(ms *mutState) {
+	v := ms.alloc.HarvestSinceEpoch() + ms.largeSince
+	ms.largeSince = 0
+	if v != 0 {
+		p.allocSince.Add(v)
+	}
+	if d := ms.slowOps - ms.slowPub; d != 0 {
+		ms.slowPub = ms.slowOps
+		p.logsSince.Add(d)
+	}
+}
+
+// PollSafepoint implements vm.Plan: the RC trigger fast path (see
+// pollTrigger). The pacer folds the survival-rate trigger into a single
+// allocation-budget comparison (policy.RCPacer.AllocLimit); the
+// increment threshold is checked when configured.
+func (p *LXR) PollSafepoint(m *vm.Mutator) {
+	if ms, ok := m.PlanState.(*mutState); ok {
+		p.pollTrigger(m, ms)
 	}
 }
 

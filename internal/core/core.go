@@ -185,9 +185,13 @@ type LXR struct {
 	// (policy.RCPacer behind the shared pacing contract).
 	pacer policy.Pacer
 
-	// Epoch counters polled by the trigger fast path.
-	allocSince  atomic.Int64 // bytes allocated since last pause
-	logsSince   atomic.Int64 // barrier slow paths since last pause
+	// Epoch counters polled by the trigger fast path. Mutators
+	// accumulate in per-mutator counters (mutState) and publish here at
+	// a coarse grain from the trigger poll; pauses and UnbindMutator
+	// fold in the unpublished tails, so across a pause the totals are
+	// exact.
+	allocSince  atomic.Int64 // published bytes allocated since last pause
+	logsSince   atomic.Int64 // published barrier slow paths since last pause
 	gcScheduled atomic.Bool
 
 	// satbActive is true from the pause that seeds a trace until the
@@ -223,6 +227,8 @@ type LXR struct {
 
 	epoch atomic.Uint64 // completed RC epochs
 
+	// Residue accumulators for mutators that deregistered mid-epoch;
+	// live mutators' counts stay in mutState until the pause harvest.
 	allocObjects atomic.Int64 // objects allocated since last pause (telemetry)
 	barrierSlow  atomic.Int64 // barrier slow paths since last pause (telemetry)
 
@@ -376,19 +382,42 @@ func (p *LXR) PacingTrace() *policy.Trace { return p.pacer.Trace() }
 
 // --- mutator state -----------------------------------------------------------
 
+// mutState is the per-mutator plan state. The epoch counters (bump
+// bytes in alloc.SinceEpoch, largeSince, allocObjs, slowOps) are plain
+// fields written only by the owning mutator; the trigger poll publishes
+// the allocation-volume tail into the global atomics at a coarse grain
+// (allocPublishBytes) and pauses harvest everything exactly, so the
+// allocation and barrier fast paths touch no shared cache lines.
 type mutState struct {
-	alloc   immix.Allocator
-	decBuf  gcwork.AddrBuffer // overwritten referents (coalescing decs + SATB snapshot)
-	modBuf  gcwork.AddrBuffer // logged field addresses (coalescing incs)
-	lxr     *LXR
-	slowOps int64
+	alloc      immix.Allocator
+	decBuf     gcwork.AddrBuffer // overwritten referents (coalescing decs + SATB snapshot)
+	modBuf     gcwork.AddrBuffer // logged field addresses (coalescing incs)
+	lxr        *LXR
+	largeSince int64 // LOS bytes since the last publish (bump bytes live in alloc.SinceEpoch)
+	allocObjs  int64 // objects allocated since the last pause (telemetry)
+	slowOps    int64 // barrier slow paths since the last pause
+	slowPub    int64 // portion of slowOps already published to logsSince
 }
+
+// LXR caches "stores may need remembered-set recording" — satbActive
+// with a non-empty evacuation set — in each mutator's BarrierWatch
+// field. All inputs only change inside stop-the-world pauses, so the
+// flag is refreshed at every pause end (and on bind) and the barrier
+// replaces the satbActive.Load + Contains + HasFlag chain with one
+// mutator-local bool test, without even a PlanState type assertion.
 
 // lineMap adapts the RC table (plus straddle markers, which keep their
 // lines' RC words non-zero) to the allocator's free-line query.
 type lineMap struct{ rc *meta.RCTable }
 
 func (l lineMap) LineFree(idx int) bool { return l.rc.LineFree(idx) }
+
+// FreeLineBits implements immix.LineBitsSource: one call fills a
+// block's whole free-line bitmap so the allocator's span scan is
+// word-at-a-time.
+func (l lineMap) FreeLineBits(firstLine int, bits *[mem.LinesPerBlock / 32]uint32) {
+	l.rc.FreeLineBits(firstLine, bits)
+}
 
 // BindMutator implements vm.Plan.
 func (p *LXR) BindMutator(m *vm.Mutator) {
@@ -399,6 +428,9 @@ func (p *LXR) BindMutator(m *vm.Mutator) {
 		UseRecycled: true,
 		OnSpan:      p.onSpan,
 	}
+	// The caller holds the running token, so no pause can be flipping
+	// the SATB/evacuation state concurrently.
+	m.BarrierWatch = p.satbActive.Load() && len(p.evacSet) > 0
 	m.PlanState = ms
 }
 
@@ -406,6 +438,13 @@ func (p *LXR) BindMutator(m *vm.Mutator) {
 func (p *LXR) UnbindMutator(m *vm.Mutator) {
 	ms := m.PlanState.(*mutState)
 	ms.alloc.Flush()
+	// Fold the per-mutator epoch counters into the global residue
+	// accumulators the next pause will harvest (the caller still holds
+	// the running token, so no pause races this).
+	p.allocSince.Add(ms.alloc.HarvestSinceEpoch() + ms.largeSince)
+	p.logsSince.Add(ms.slowOps - ms.slowPub)
+	p.allocObjects.Add(ms.allocObjs)
+	p.barrierSlow.Add(ms.slowOps)
 	// Buffers are drained at the next pause via the shared queues,
 	// segment-granular (no flattening copy).
 	for _, s := range ms.decBuf.TakeSegs() {

@@ -79,25 +79,33 @@ func (p *LXR) pausePipeline(cause string) string {
 	st.Add(CtrPauses, 1)
 
 	// 1. Flush mutator state: thread-local allocators (their bump spans
-	// may be reclaimed below) and barrier buffers. Modified-field
-	// captures stay segment-granular: the segments are handed to the
-	// scheduler whole instead of being flattened into one copy.
+	// may be reclaimed below), barrier buffers, and the per-mutator
+	// epoch counters — the published residues in the global atomics plus
+	// each mutator's unpublished tail add up to the exact epoch totals.
+	// Modified-field captures stay segment-granular: the segments are
+	// handed to the scheduler whole instead of being flattened into one
+	// copy.
 	var decSeeds []mem.Address
 	var modSegs [][]mem.Address
+	allocVol := p.allocSince.Swap(0)
+	allocObjs := p.allocObjects.Swap(0)
+	slowOps := p.barrierSlow.Swap(0)
 	p.vm.EachMutator(func(m *vm.Mutator) {
 		ms := m.PlanState.(*mutState)
 		ms.alloc.Flush()
-		ms.alloc.HarvestSinceEpoch()
+		allocVol += ms.alloc.HarvestSinceEpoch() + ms.largeSince
+		allocObjs += ms.allocObjs
+		slowOps += ms.slowOps
+		ms.largeSince, ms.allocObjs, ms.slowOps, ms.slowPub = 0, 0, 0, 0
 		decSeeds = ms.decBuf.TakeInto(decSeeds)
 		modSegs = append(modSegs, ms.modBuf.TakeSegs()...)
 	})
 	decSeeds = append(decSeeds, p.conc.decs.Take()...)
 	modSegs = append(modSegs, p.conc.mods.TakeSegs()...)
-	allocVol := p.allocSince.Swap(0)
 	p.logsSince.Store(0)
 	st.Add(CtrAllocBytes, allocVol)
-	st.Add(CtrAllocObjects, p.allocObjects.Swap(0))
-	st.Add(CtrBarrierSlow, p.barrierSlow.Swap(0))
+	st.Add(CtrAllocObjects, allocObjs)
+	st.Add(CtrBarrierSlow, slowOps)
 
 	// 2. Finish unfinished lazy decrements first (§3.2.1): if the
 	// previous epoch's decrements have not drained, the pause completes
@@ -260,6 +268,14 @@ func (p *LXR) pausePipeline(cause string) string {
 	} else {
 		p.conc.submitDecs(decs)
 	}
+	// Refresh the mutators' cached barrier predicate: satbActive and the
+	// evacuation set only change inside pauses (startSATB/finalizeSATB
+	// above), so the per-mutator flag recomputed here is valid for the
+	// whole next epoch.
+	remWatch := p.satbActive.Load() && len(p.evacSet) > 0
+	p.vm.EachMutator(func(m *vm.Mutator) {
+		m.BarrierWatch = remWatch
+	})
 	p.verifyHeap("end")
 	if testPauseHook != nil {
 		testPauseHook(p)

@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lxr/internal/fastbench"
+	"lxr/internal/telemetry"
+)
+
+// Compare implements lxr-bench -compare OLD.json NEW.json: a noise-aware
+// differ over the BENCH_*.json artifact formats, for CI regression
+// gating against the previous push's artifacts.
+//
+// Three formats are recognised (both files must be the same one):
+//
+//   - fastbench reports (BENCH_fastpath.json, kind "fastpath"): each
+//     benchmark carries repeated per-sample ns/op measurements, so the
+//     test is interval overlap — a regression is claimed only when the
+//     new run's *fastest* sample is slower than the old run's *slowest*
+//     sample by more than the noise margin. Run-to-run scheduling noise
+//     widens the intervals and makes the test conservative, never flaky.
+//   - histogram dumps (BENCH_hist.json, []HistDump): pause and latency
+//     quantiles (p50/p99/p99.9/max) are recomputed exactly from the
+//     sparse bucket dumps and compared with a ratio threshold plus an
+//     absolute floor (a quantile must both double and move by ≥ 1 ms to
+//     count — sub-millisecond jitter on near-zero quantiles is noise).
+//   - run summaries (BENCH_ci.json, []RunSummary): the pre-digested
+//     pause/latency percentiles, same ratio + floor rule.
+type Compare struct {
+	// FastpathMargin is the interval-overlap noise margin (default 0.10:
+	// the new minimum must exceed the old maximum by >10%).
+	FastpathMargin float64
+	// QuantileRatio and QuantileFloorNS gate histogram/summary quantile
+	// regressions (defaults 2.0 and 1 ms).
+	QuantileRatio   float64
+	QuantileFloorNS float64
+}
+
+func (c *Compare) setDefaults() {
+	if c.FastpathMargin == 0 {
+		c.FastpathMargin = 0.10
+	}
+	if c.QuantileRatio == 0 {
+		c.QuantileRatio = 2.0
+	}
+	if c.QuantileFloorNS == 0 {
+		c.QuantileFloorNS = float64(time.Millisecond)
+	}
+}
+
+// CompareFiles diffs two artifact files, writing a report to w, and
+// returns the number of regressions found.
+func CompareFiles(w io.Writer, oldPath, newPath string) (int, error) {
+	oldData, err := os.ReadFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newData, err := os.ReadFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+	var c Compare
+	return c.Data(w, oldData, newData)
+}
+
+// Data diffs two artifacts given as raw JSON.
+func (c *Compare) Data(w io.Writer, oldData, newData []byte) (int, error) {
+	c.setDefaults()
+	oldKind, err := sniff(oldData)
+	if err != nil {
+		return 0, fmt.Errorf("old artifact: %w", err)
+	}
+	newKind, err := sniff(newData)
+	if err != nil {
+		return 0, fmt.Errorf("new artifact: %w", err)
+	}
+	if oldKind != newKind {
+		return 0, fmt.Errorf("artifact formats differ: old is %s, new is %s", oldKind, newKind)
+	}
+	switch oldKind {
+	case "fastpath":
+		return c.compareFastpath(w, oldData, newData)
+	case "hist":
+		return c.compareHist(w, oldData, newData)
+	default:
+		return c.compareSummaries(w, oldData, newData)
+	}
+}
+
+// sniff identifies an artifact format: a {"kind":"fastpath"} object, a
+// HistDump array (elements carry sparse bucket dumps), or a RunSummary
+// array (elements carry pre-digested "pause_ms" percentiles).
+func sniff(data []byte) (string, error) {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err == nil && probe.Kind == "fastpath" {
+		return "fastpath", nil
+	}
+	var arr []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return "", fmt.Errorf("unrecognised artifact format: %v", err)
+	}
+	for _, el := range arr {
+		if _, ok := el["pause_ms"]; ok {
+			return "summary", nil
+		}
+		if _, ok := el["pauses"]; ok {
+			return "hist", nil
+		}
+		if _, ok := el["latency"]; ok {
+			return "hist", nil
+		}
+	}
+	// An empty array (or one with neither key) compares trivially; treat
+	// it as summaries.
+	return "summary", nil
+}
+
+// --- fastpath reports --------------------------------------------------------
+
+func (c *Compare) compareFastpath(w io.Writer, oldData, newData []byte) (int, error) {
+	var oldRep, newRep fastbench.Report
+	if err := json.Unmarshal(oldData, &oldRep); err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal(newData, &newRep); err != nil {
+		return 0, err
+	}
+	key := func(r fastbench.Result) string { return r.Collector + " " + r.Bench }
+	olds := map[string]fastbench.Result{}
+	for _, r := range oldRep.Results {
+		olds[key(r)] = r
+	}
+	regressions := 0
+	for _, nr := range newRep.Results {
+		or, ok := olds[key(nr)]
+		if !ok {
+			fmt.Fprintf(w, "fastpath %-22s new benchmark (no baseline)\n", key(nr))
+			continue
+		}
+		delete(olds, key(nr))
+		interval := func(r fastbench.Result) string {
+			return fmt.Sprintf("%.1f-%.1f ns/op", r.MinNS, r.MaxNS)
+		}
+		switch {
+		case len(nr.SamplesNS) == 0 || len(or.SamplesNS) == 0:
+			fmt.Fprintf(w, "fastpath %-22s skipped (no samples)\n", key(nr))
+		case nr.MinNS > or.MaxNS*(1+c.FastpathMargin):
+			regressions++
+			fmt.Fprintf(w, "fastpath %-22s REGRESSION: old %s, new %s (%.2fx)\n",
+				key(nr), interval(or), interval(nr), nr.MinNS/or.MaxNS)
+		case nr.MaxNS < or.MinNS*(1-c.FastpathMargin):
+			fmt.Fprintf(w, "fastpath %-22s improved: old %s, new %s (%.2fx)\n",
+				key(nr), interval(or), interval(nr), or.MinNS/nr.MaxNS)
+		default:
+			fmt.Fprintf(w, "fastpath %-22s ok: old %s, new %s\n",
+				key(nr), interval(or), interval(nr))
+		}
+	}
+	for k := range olds {
+		fmt.Fprintf(w, "fastpath %-22s missing from new run\n", k)
+	}
+	fmt.Fprintf(w, "fastpath: %d regression(s)\n", regressions)
+	return regressions, nil
+}
+
+// --- histogram dumps ---------------------------------------------------------
+
+// exportQuantile recomputes a nearest-rank quantile exactly from a
+// sparse bucket dump, mirroring telemetry.Histogram.Percentile (bucket
+// upper bound, clamped to the recorded min/max).
+func exportQuantile(e *telemetry.Export, p float64) float64 {
+	if e.Count == 0 {
+		return 0
+	}
+	rank := int64(float64(e.Count)*p/100 + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > e.Count {
+		rank = e.Count
+	}
+	var seen int64
+	for _, b := range e.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			v := b.Hi
+			if v > e.Max {
+				v = e.Max
+			}
+			if v < e.Min {
+				v = e.Min
+			}
+			return float64(v)
+		}
+	}
+	return float64(e.Max)
+}
+
+var quantiles = []struct {
+	name string
+	p    float64
+}{{"p50", 50}, {"p99", 99}, {"p99.9", 99.9}, {"max", 100}}
+
+// checkQuantile applies the ratio+floor rule to one quantile pair (ns),
+// reporting and counting a regression.
+func (c *Compare) checkQuantile(w io.Writer, label, q string, oldNS, newNS float64, regressions *int) {
+	if newNS > oldNS*c.QuantileRatio && newNS-oldNS > c.QuantileFloorNS {
+		*regressions++
+		fmt.Fprintf(w, "%s %s REGRESSION: %.2fms -> %.2fms (%.2fx)\n",
+			label, q, oldNS/1e6, newNS/1e6, newNS/oldNS)
+	}
+}
+
+func (c *Compare) compareHist(w io.Writer, oldData, newData []byte) (int, error) {
+	var oldDumps, newDumps []HistDump
+	if err := json.Unmarshal(oldData, &oldDumps); err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal(newData, &newDumps); err != nil {
+		return 0, err
+	}
+	key := func(d HistDump) string {
+		return d.Experiment + "/" + d.Bench + "/" + d.Collector
+	}
+	olds := map[string]HistDump{}
+	for _, d := range oldDumps {
+		olds[key(d)] = d
+	}
+	regressions, matched := 0, 0
+	for _, nd := range newDumps {
+		od, ok := olds[key(nd)]
+		if !ok {
+			continue
+		}
+		matched++
+		for kind, ne := range nd.Pauses {
+			oe, ok := od.Pauses[kind]
+			if !ok {
+				continue
+			}
+			for _, q := range quantiles {
+				c.checkQuantile(w, fmt.Sprintf("hist %s pause[%s]", key(nd), kind), q.name,
+					exportQuantile(&oe, q.p), exportQuantile(&ne, q.p), &regressions)
+			}
+		}
+		if nd.Latency != nil && od.Latency != nil {
+			for _, q := range quantiles {
+				c.checkQuantile(w, fmt.Sprintf("hist %s latency", key(nd)), q.name,
+					exportQuantile(od.Latency, q.p), exportQuantile(nd.Latency, q.p), &regressions)
+			}
+		}
+	}
+	fmt.Fprintf(w, "hist: %d run(s) compared, %d quantile regression(s)\n", matched, regressions)
+	return regressions, nil
+}
+
+// --- run summaries -----------------------------------------------------------
+
+func (c *Compare) compareSummaries(w io.Writer, oldData, newData []byte) (int, error) {
+	var oldSums, newSums []RunSummary
+	if err := json.Unmarshal(oldData, &oldSums); err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal(newData, &newSums); err != nil {
+		return 0, err
+	}
+	key := func(s RunSummary) string {
+		return s.Experiment + "/" + s.Bench + "/" + s.Collector
+	}
+	olds := map[string]RunSummary{}
+	for _, s := range oldSums {
+		olds[key(s)] = s
+	}
+	regressions, matched := 0, 0
+	for _, ns := range newSums {
+		ps, ok := olds[key(ns)]
+		if !ok || !ns.OK || !ps.OK {
+			continue
+		}
+		matched++
+		for _, q := range []string{"p99", "max"} {
+			if ov, nv := ps.PauseMS[q], ns.PauseMS[q]; ov > 0 || nv > 0 {
+				c.checkQuantile(w, fmt.Sprintf("summary %s pause", key(ns)), q,
+					ov*1e6, nv*1e6, &regressions)
+			}
+		}
+		if ps.LatencyMS != nil && ns.LatencyMS != nil {
+			for _, q := range []string{"p99", "p99.9"} {
+				c.checkQuantile(w, fmt.Sprintf("summary %s latency", key(ns)), q,
+					ps.LatencyMS[q]*1e6, ns.LatencyMS[q]*1e6, &regressions)
+			}
+		}
+	}
+	fmt.Fprintf(w, "summary: %d run(s) compared, %d regression(s)\n", matched, regressions)
+	return regressions, nil
+}

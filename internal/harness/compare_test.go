@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lxr/internal/fastbench"
+	"lxr/internal/telemetry"
+)
+
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func compareData(t *testing.T, oldData, newData []byte) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	var c Compare
+	n, err := c.Data(&buf, oldData, newData)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	return n, buf.String()
+}
+
+func fpResult(collector, bench string, samples ...float64) fastbench.Result {
+	r := fastbench.Result{Collector: collector, Bench: bench, Ops: 1000, SamplesNS: samples}
+	r.MinNS, r.MaxNS = samples[0], samples[0]
+	var sum float64
+	for _, s := range samples {
+		if s < r.MinNS {
+			r.MinNS = s
+		}
+		if s > r.MaxNS {
+			r.MaxNS = s
+		}
+		sum += s
+	}
+	r.MeanNS = sum / float64(len(samples))
+	return r
+}
+
+func fpReport(scale float64) fastbench.Report {
+	return fastbench.Report{Kind: "fastpath", Results: []fastbench.Result{
+		fpResult("LXR", "alloc/small", 70*scale, 74*scale, 78*scale),
+		fpResult("LXR", "store/fast", 12*scale, 13*scale, 13.5*scale),
+		fpResult("Immix", "alloc/small", 30*scale, 31*scale, 33*scale),
+	}}
+}
+
+// An A/A self-comparison of a fastpath report must be clean: the
+// acceptance gate for the noise-aware differ.
+func TestCompareFastpathSelfIsClean(t *testing.T) {
+	data := mustJSON(t, fpReport(1))
+	n, out := compareData(t, data, data)
+	if n != 0 {
+		t.Fatalf("A/A comparison found %d regressions:\n%s", n, out)
+	}
+	if !strings.Contains(out, "fastpath: 0 regression(s)") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+}
+
+// A 2x slowdown on one benchmark must be flagged, and only that one.
+func TestCompareFastpathFlagsInjectedSlowdown(t *testing.T) {
+	oldRep := fpReport(1)
+	newRep := fpReport(1)
+	slow := fpResult("LXR", "store/fast", 24, 26, 27)
+	newRep.Results[1] = slow
+	n, out := compareData(t, mustJSON(t, oldRep), mustJSON(t, newRep))
+	if n != 1 {
+		t.Fatalf("want exactly 1 regression, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "LXR store/fast") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("regression not attributed to LXR store/fast:\n%s", out)
+	}
+}
+
+// Overlapping intervals — noise, not signal — must not be flagged even
+// when the means differ.
+func TestCompareFastpathToleratesOverlap(t *testing.T) {
+	oldRep := fastbench.Report{Kind: "fastpath", Results: []fastbench.Result{
+		fpResult("LXR", "alloc/small", 70, 74, 90),
+	}}
+	newRep := fastbench.Report{Kind: "fastpath", Results: []fastbench.Result{
+		fpResult("LXR", "alloc/small", 85, 95, 110), // min 85 < old max 90·1.1
+	}}
+	n, out := compareData(t, mustJSON(t, oldRep), mustJSON(t, newRep))
+	if n != 0 {
+		t.Fatalf("overlapping intervals flagged as regression:\n%s", out)
+	}
+}
+
+func histDump(t *testing.T, scale int64) HistDump {
+	t.Helper()
+	h := telemetry.NewHistogram(telemetry.PauseConfig())
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		h.Record(scale * (100_000 + r.Int63n(4_000_000))) // 0.1–4.1 ms pauses
+	}
+	e := h.Export()
+	return HistDump{Bench: "lusearch", Collector: "LXR",
+		Pauses: map[string]telemetry.Export{"rc": e}, Latency: &e}
+}
+
+func TestCompareHistSelfAndSlowdown(t *testing.T) {
+	oldData := mustJSON(t, []HistDump{histDump(t, 1)})
+	if n, out := compareData(t, oldData, oldData); n != 0 {
+		t.Fatalf("A/A hist comparison found %d regressions:\n%s", n, out)
+	}
+	// 4x slower pauses: well past the 2x ratio and the 1 ms floor at p99.
+	newData := mustJSON(t, []HistDump{histDump(t, 4)})
+	n, out := compareData(t, oldData, newData)
+	if n == 0 {
+		t.Fatalf("4x pause slowdown not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("missing REGRESSION line:\n%s", out)
+	}
+}
+
+// exportQuantile must agree with the histogram's own Percentile — the
+// compare tool recomputes quantiles from the sparse dump.
+func TestExportQuantileMatchesHistogram(t *testing.T) {
+	h := telemetry.NewHistogram(telemetry.PauseConfig())
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		h.Record(50_000 + r.Int63n(20_000_000))
+	}
+	e := h.Export()
+	for _, q := range quantiles {
+		want := float64(h.Percentile(q.p))
+		if got := exportQuantile(&e, q.p); got != want {
+			t.Fatalf("%s: exportQuantile %.0f, Percentile %.0f", q.name, got, want)
+		}
+	}
+}
+
+func TestCompareSummaries(t *testing.T) {
+	base := RunSummary{Bench: "lusearch", Collector: "LXR", OK: true,
+		PauseMS:   map[string]float64{"p99": 2.0, "max": 3.5},
+		LatencyMS: map[string]float64{"p99": 4.0, "p99.9": 9.0}}
+	oldData := mustJSON(t, []RunSummary{base})
+	if n, out := compareData(t, oldData, oldData); n != 0 {
+		t.Fatalf("A/A summary comparison found %d regressions:\n%s", n, out)
+	}
+	slow := base
+	slow.PauseMS = map[string]float64{"p99": 6.0, "max": 3.6}
+	n, out := compareData(t, oldData, mustJSON(t, []RunSummary{slow}))
+	if n != 1 {
+		t.Fatalf("want 1 regression (pause p99 tripled), got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "pause p99 REGRESSION") {
+		t.Fatalf("missing pause p99 regression:\n%s", out)
+	}
+}
+
+func TestCompareRejectsMismatchedFormats(t *testing.T) {
+	fp := mustJSON(t, fpReport(1))
+	sum := mustJSON(t, []RunSummary{{Bench: "b", Collector: "c", OK: true,
+		PauseMS: map[string]float64{"p99": 1}}})
+	var c Compare
+	if _, err := c.Data(&bytes.Buffer{}, fp, sum); err == nil {
+		t.Fatal("mismatched artifact formats not rejected")
+	}
+}

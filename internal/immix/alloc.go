@@ -1,6 +1,8 @@
 package immix
 
 import (
+	"math/bits"
+
 	"lxr/internal/mem"
 )
 
@@ -10,6 +12,33 @@ import (
 // line mark bits.
 type LineMap interface {
 	LineFree(globalLine int) bool
+}
+
+// LineBitsSource is an optional LineMap extension that fills a whole
+// block's free-line bitmap (bit set = line free) in one call, letting
+// the allocator scan for spans word-at-a-time instead of one interface
+// call per line.
+type LineBitsSource interface {
+	FreeLineBits(firstLine int, bm *[mem.LinesPerBlock / 32]uint32)
+}
+
+// LoadLineBits snapshots the free-line bitmap of the block whose first
+// global line is firstLine, via FreeLineBits when the map supports it
+// and a per-line fallback otherwise.
+func LoadLineBits(lines LineMap, firstLine int, bm *[mem.LinesPerBlock / 32]uint32) {
+	if src, ok := lines.(LineBitsSource); ok {
+		src.FreeLineBits(firstLine, bm)
+		return
+	}
+	for i := range bm {
+		var w uint32
+		for b := 0; b < 32; b++ {
+			if lines.LineFree(firstLine + i*32 + b) {
+				w |= 1 << uint(b)
+			}
+		}
+		bm[i] = w
+	}
 }
 
 // Allocator is a thread-local Immix bump-pointer allocator. It allocates
@@ -39,6 +68,12 @@ type Allocator struct {
 	limit  mem.Address
 	block  int
 	scan   int // next line in block to consider for recycling
+	// lineBits caches the free-line bitmap of the current recycled
+	// block, snapshotted at acquisition. The allocator holds the block
+	// Reserved while it bumps through it, and lines only transition
+	// used->free concurrently, so a stale snapshot can only under-report
+	// free lines — conservative, never unsafe.
+	lineBits [mem.LinesPerBlock / 32]uint32
 
 	oCursor mem.Address // overflow block for medium objects
 	oLimit  mem.Address
@@ -126,19 +161,67 @@ func (al *Allocator) allocOverflow(size int) (mem.Address, bool) {
 }
 
 // nextSpanInBlock advances the bump span to the next run of free lines
-// in the current (recycled) block. Following Immix, the first free line
-// after a used line is treated as unavailable so that objects straddling
-// into it are never clobbered.
+// in the current (recycled) block, scanning the cached free-line bitmap
+// word-at-a-time. Following Immix, the first free line after a used
+// line is treated as unavailable so that objects straddling into it are
+// never clobbered.
 func (al *Allocator) nextSpanInBlock() bool {
 	if al.block == 0 || al.Lines == nil {
 		return false
 	}
+	start, end, ok := nextSpan(&al.lineBits, al.scan)
+	if !ok {
+		al.scan = mem.LinesPerBlock
+		return false
+	}
+	al.scan = end
 	base := al.block * mem.LinesPerBlock
-	l := al.scan
+	al.setSpan(mem.LineStart(base+start), mem.LineStart(base+end), true)
+	return true
+}
+
+// lineBitSet reports whether line l of the bitmap is free.
+func lineBitSet(bm *[mem.LinesPerBlock / 32]uint32, l int) bool {
+	return bm[l>>5]&(1<<uint(l&31)) != 0
+}
+
+// nextFreeLine returns the index of the first free line >= l, or
+// LinesPerBlock. Each iteration consumes the remainder of a 32-line
+// word with one TrailingZeros32 instead of up to 32 interface calls.
+func nextFreeLine(bm *[mem.LinesPerBlock / 32]uint32, l int) int {
 	for l < mem.LinesPerBlock {
-		for l < mem.LinesPerBlock && !al.Lines.LineFree(base+l) {
-			l++
+		if w := bm[l>>5] >> uint(l&31); w != 0 {
+			return l + bits.TrailingZeros32(w)
 		}
+		l = (l &^ 31) + 32
+	}
+	return mem.LinesPerBlock
+}
+
+// nextUsedLine returns the index of the first used line >= l, or
+// LinesPerBlock, by scanning the inverted bitmap the same way.
+func nextUsedLine(bm *[mem.LinesPerBlock / 32]uint32, l int) int {
+	for l < mem.LinesPerBlock {
+		if w := (^bm[l>>5]) >> uint(l&31); w != 0 {
+			n := l + bits.TrailingZeros32(w)
+			if n > mem.LinesPerBlock {
+				n = mem.LinesPerBlock
+			}
+			return n
+		}
+		l = (l &^ 31) + 32
+	}
+	return mem.LinesPerBlock
+}
+
+// nextSpan finds the next bumpable span of free lines at or after scan
+// in a block's free-line bitmap, applying the conservative straddle
+// rule. It is the pure core of nextSpanInBlock, shared with ScanSpans
+// and property-tested against the per-line reference scan.
+func nextSpan(bm *[mem.LinesPerBlock / 32]uint32, scan int) (start, end int, ok bool) {
+	l := scan
+	for l < mem.LinesPerBlock {
+		l = nextFreeLine(bm, l)
 		if l >= mem.LinesPerBlock {
 			break
 		}
@@ -146,20 +229,15 @@ func (al *Allocator) nextSpanInBlock() bool {
 			// Conservative straddle rule: skip the first free line
 			// following a used line (or a previously returned span).
 			l++
-			if l >= mem.LinesPerBlock || !al.Lines.LineFree(base+l) {
+			if l >= mem.LinesPerBlock || !lineBitSet(bm, l) {
 				continue
 			}
 		}
-		start := l
-		for l < mem.LinesPerBlock && al.Lines.LineFree(base+l) {
-			l++
-		}
-		al.scan = l
-		al.setSpan(mem.LineStart(base+start), mem.LineStart(base+l), true)
-		return true
+		start = l
+		l = nextUsedLine(bm, l)
+		return start, l, true
 	}
-	al.scan = mem.LinesPerBlock
-	return false
+	return 0, 0, false
 }
 
 func (al *Allocator) acquireBlock() bool {
@@ -171,6 +249,9 @@ func (al *Allocator) acquireBlock() bool {
 			al.BlocksRecycled++
 			al.block = idx
 			al.scan = 0
+			if al.Lines != nil {
+				LoadLineBits(al.Lines, idx*mem.LinesPerBlock, &al.lineBits)
+			}
 			if al.nextSpanInBlock() {
 				return true
 			}

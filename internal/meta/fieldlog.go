@@ -88,8 +88,30 @@ func (t *FieldLogTable) set(slot mem.Address, v uint32) {
 
 // ClearRange forces Logged for every field in [start, end), used when an
 // object's memory is reclaimed so reallocation starts from clean state.
+// Logged is the all-zero encoding, so interior words (16 fields each)
+// are plain atomic zero stores; only the partially covered boundary
+// words need a masked CAS. This runs on every bump-span reset, which is
+// why the per-field CAS loop it replaces was worth killing.
 func (t *FieldLogTable) ClearRange(start, end mem.Address) {
-	for a := start; a < end; a += mem.WordSize {
-		t.SetLogged(a)
+	if start >= end {
+		return
+	}
+	f0 := uint64(start) >> mem.WordLog
+	f1 := uint64(start+((end-start-1)/mem.WordSize)*mem.WordSize)>>mem.WordLog + 1
+	w0, s0 := int(f0/16), uint(f0%16)*2
+	w1, s1 := int(f1/16), uint(f1%16)*2
+	if w0 == w1 {
+		clearBits32(&t.words[w0], (^uint32(0)<<s0)&^(^uint32(0)<<s1))
+		return
+	}
+	if s0 != 0 {
+		clearBits32(&t.words[w0], ^uint32(0)<<s0)
+		w0++
+	}
+	for w := w0; w < w1; w++ {
+		atomic.StoreUint32(&t.words[w], 0)
+	}
+	if s1 != 0 {
+		clearBits32(&t.words[w1], ^(^uint32(0) << s1))
 	}
 }

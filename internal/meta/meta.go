@@ -118,10 +118,73 @@ func (t *RCTable) ClearBlock(idx int) {
 	}
 }
 
-// ClearRange zeroes the counts of every granule in [start, end).
+// ClearRange zeroes the counts of every granule in [start, end),
+// word-at-a-time: interior words (16 granules — one line — each) are
+// plain atomic stores; only partially covered boundary words need a
+// masked CAS. The per-granule equivalent would be up to 2048 CAS loops
+// per block — this is the span-reset path of every bump allocation
+// span, so it must be cheap.
 func (t *RCTable) ClearRange(start, end mem.Address) {
-	for a := start; a < end; a += mem.Granule {
-		t.Set(a, 0)
+	if start >= end {
+		return
+	}
+	// Granules visited by the equivalent per-granule loop: stepping by
+	// Granule from start (which need not be aligned), the last visited
+	// address is start + ((end-start-1)/Granule)*Granule.
+	g0 := start.Granule()
+	g1 := (start + ((end-start-1)/mem.Granule)*mem.Granule).Granule() + 1
+	w0, s0 := g0/countsPerWord, uint(g0%countsPerWord)*RCBits
+	w1, s1 := g1/countsPerWord, uint(g1%countsPerWord)*RCBits
+	if w0 == w1 {
+		clearBits32(&t.words[w0], (^uint32(0)<<s0)&^(^uint32(0)<<s1))
+		return
+	}
+	if s0 != 0 {
+		clearBits32(&t.words[w0], ^uint32(0)<<s0)
+		w0++
+	}
+	for w := w0; w < w1; w++ {
+		atomic.StoreUint32(&t.words[w], 0)
+	}
+	if s1 != 0 {
+		clearBits32(&t.words[w1], ^(^uint32(0) << s1))
+	}
+}
+
+// FreeLineBits fills bits with one bit per line of the block whose
+// first global line is firstLine (bit set = line free, i.e. its RC word
+// is zero). One call prepares a whole block's free-line bitmap for the
+// allocator's word-at-a-time span scan (immix.LineBitsSource).
+func (t *RCTable) FreeLineBits(firstLine int, bits *[mem.LinesPerBlock / 32]uint32) {
+	for i := range bits {
+		base := firstLine + i*32
+		var w uint32
+		for b := 0; b < 32; b++ {
+			if atomic.LoadUint32(&t.words[base+b]) == 0 {
+				w |= 1 << uint(b)
+			}
+		}
+		bits[i] = w
+	}
+}
+
+// clearBits32 atomically clears the masked bits of *w.
+func clearBits32(w *uint32, mask uint32) {
+	for {
+		old := atomic.LoadUint32(w)
+		if old&mask == 0 || atomic.CompareAndSwapUint32(w, old, old&^mask) {
+			return
+		}
+	}
+}
+
+// setBits32 atomically sets the masked bits of *w.
+func setBits32(w *uint32, mask uint32) {
+	for {
+		old := atomic.LoadUint32(w)
+		if old&mask == mask || atomic.CompareAndSwapUint32(w, old, old|mask) {
+			return
+		}
 	}
 }
 
@@ -233,20 +296,74 @@ func (t *BitTable) ClearAll() {
 	}
 }
 
-// SetRange sets the bit for every unit whose start lies in [start, end).
-func (t *BitTable) SetRange(start, end mem.Address) {
+// rangeWords maps [start, end) to the unit-index range the equivalent
+// per-unit loop would visit (stepping by the unit size from start,
+// which need not be aligned) and the word/shift coordinates of its
+// endpoints.
+func (t *BitTable) rangeWords(start, end mem.Address) (w0 int, s0 uint, w1 int, s1 uint, ok bool) {
+	if start >= end {
+		return 0, 0, 0, 0, false
+	}
 	step := mem.Address(1) << t.unitLog
-	for a := start; a < end; a += step {
-		t.Set(a)
+	u0 := uint64(start) >> t.unitLog
+	u1 := uint64(start+((end-start-1)/step)*step)>>t.unitLog + 1
+	return int(u0 / 32), uint(u0 % 32), int(u1 / 32), uint(u1 % 32), true
+}
+
+// SetRange sets the bit for every unit the equivalent per-unit loop
+// over [start, end) would touch, word-at-a-time: fully covered words
+// are single atomic stores, the partially covered boundary words
+// masked CASes.
+func (t *BitTable) SetRange(start, end mem.Address) {
+	w0, s0, w1, s1, ok := t.rangeWords(start, end)
+	if !ok {
+		return
+	}
+	if w0 == w1 {
+		setBits32(&t.words[w0], (^uint32(0)<<s0)&^(^uint32(0)<<s1))
+		return
+	}
+	if s0 != 0 {
+		setBits32(&t.words[w0], ^uint32(0)<<s0)
+		w0++
+	}
+	for w := w0; w < w1; w++ {
+		atomic.StoreUint32(&t.words[w], ^uint32(0))
+	}
+	if s1 != 0 {
+		setBits32(&t.words[w1], ^(^uint32(0) << s1))
 	}
 }
 
-// ClearRange clears the bit for every unit whose start lies in [start, end).
+// ClearRange clears the bit for every unit overlapping [start, end),
+// with the same word-at-a-time structure as SetRange.
 func (t *BitTable) ClearRange(start, end mem.Address) {
-	step := mem.Address(1) << t.unitLog
-	for a := start; a < end; a += step {
-		t.Clear(a)
+	w0, s0, w1, s1, ok := t.rangeWords(start, end)
+	if !ok {
+		return
 	}
+	if w0 == w1 {
+		clearBits32(&t.words[w0], (^uint32(0)<<s0)&^(^uint32(0)<<s1))
+		return
+	}
+	if s0 != 0 {
+		clearBits32(&t.words[w0], ^uint32(0)<<s0)
+		w0++
+	}
+	for w := w0; w < w1; w++ {
+		atomic.StoreUint32(&t.words[w], 0)
+	}
+	if s1 != 0 {
+		clearBits32(&t.words[w1], ^(^uint32(0) << s1))
+	}
+}
+
+// Word returns the raw uint32 holding bits [32*idx, 32*idx+32) of the
+// table. For a table whose unit is the line (unitLog = LineSizeLog) it
+// exposes 32 lines' worth of marks in one load, which is what the
+// allocator's word-at-a-time span scan wants.
+func (t *BitTable) Word(idx int) uint32 {
+	return atomic.LoadUint32(&t.words[idx])
 }
 
 // LineCounters keeps one 32-bit counter per line. LXR uses it for the

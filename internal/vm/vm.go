@@ -228,6 +228,13 @@ type Mutator struct {
 	// PlanState holds the plan's per-mutator state.
 	PlanState any
 
+	// BarrierWatch is a plan-owned cache for a hot write-barrier
+	// predicate ("does this store need extra bookkeeping beyond the
+	// fast path"). Keeping it as a plain field on the mutator lets the
+	// barrier consult it without the PlanState type assertion. Plans
+	// refresh it inside stop-the-world pauses only.
+	BarrierWatch bool
+
 	// busy-time accounting for the LBO cycles metric
 	registered time.Time
 	parkedNs   atomic.Int64
@@ -271,6 +278,13 @@ func (m *Mutator) Deregister() {
 // parks here until the collection finishes.
 func (m *Mutator) Safepoint() {
 	m.VM.Plan.PollSafepoint(m)
+	m.PollPark()
+}
+
+// PollPark performs Safepoint's park-and-yield duties without the plan
+// poll. Plans whose Alloc inlines its own trigger check call it
+// directly so the poll is not dispatched twice per allocation.
+func (m *Mutator) PollPark() {
 	if m.VM.phase.Load() != 0 {
 		t0 := time.Now()
 		m.VM.releaseRunning()
