@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|heapsens|all
+//	lxr-bench -experiment table1|table3|table4|table5|table6|table7|figure5|figure7|sensitivity|heapsens|mutscale|all
 //	          [-scale quick|default] [-gcthreads N] [-concworkers N]
 //	          [-adaptive] [-mmufloor F] [-pacing static|adaptive] [-interval D]
 //	          [-bench name,name,...] [-json file|-] [-hist file]
@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "table6", "experiment id (table1, table3, table4, table5, table6, table7, figure5, figure7, sensitivity, heapsens, all)")
+		experiment = flag.String("experiment", "table6", "experiment id (table1, table3, table4, table5, table6, table7, figure5, figure7, sensitivity, heapsens, mutscale, all)")
 		scale      = flag.String("scale", "default", "workload scaling: quick or default")
 		gcThreads  = flag.Int("gcthreads", 4, "parallel GC threads")
 		concW      = flag.Int("concworkers", 0, "GC workers borrowed by concurrent phases between pauses (0 = half of gcthreads)")
@@ -178,6 +178,8 @@ func main() {
 			harness.RunSensitivity(opts)
 		case "heapsens":
 			harness.RunHeapSensitivity(opts, nil)
+		case "mutscale":
+			harness.RunMutScale(opts)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
@@ -223,7 +225,7 @@ func main() {
 }
 
 // experimentOrder is the canonical experiment list ("-experiment all").
-var experimentOrder = []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity", "heapsens"}
+var experimentOrder = []string{"table1", "table3", "table4", "table5", "table6", "table7", "figure5", "figure7", "sensitivity", "heapsens", "mutscale"}
 
 // runFastpath runs the fast-path microbench family and writes the
 // report (BENCH_fastpath.json) with the same temp-file+rename

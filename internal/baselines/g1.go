@@ -3,6 +3,7 @@ package baselines
 import (
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -284,11 +285,15 @@ func (p *G1) collect() string {
 
 	var dirty []mem.Address
 	var satbSegs [][]mem.Address
-	p.vm.EachMutator(func(m *vm.Mutator) {
+	var flushMu sync.Mutex
+	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 		ms := m.PlanState.(*g1Mut)
 		ms.alloc.Flush()
+		segs := ms.satbB.TakeSegs()
+		flushMu.Lock()
 		dirty = ms.dirty.TakeInto(dirty)
-		satbSegs = append(satbSegs, ms.satbB.TakeSegs()...)
+		satbSegs = append(satbSegs, segs...)
+		flushMu.Unlock()
 	})
 	dirty = append(dirty, p.mark.dirty.Take()...)
 	satbSegs = append(satbSegs, p.mark.satbIn.TakeSegs()...)
@@ -314,20 +319,8 @@ func (p *G1) collect() string {
 		p.pausesMixed++
 	}
 
-	// Root slots.
-	var rootSlots []*obj.Ref
-	p.vm.EachMutator(func(m *vm.Mutator) {
-		for i := range m.Roots {
-			if !m.Roots[i].IsNil() {
-				rootSlots = append(rootSlots, &m.Roots[i])
-			}
-		}
-	})
-	for i := range p.vm.Globals {
-		if !p.vm.Globals[i].IsNil() {
-			rootSlots = append(rootSlots, &p.vm.Globals[i])
-		}
-	}
+	// Root slots (parallel gather over rendezvous shards).
+	rootSlots := p.vm.RootSlots(p.pool, nil)
 
 	// Work items: tagged roots, dirty slots (old regions only — young
 	// slots die with their regions), and validated remset entries for

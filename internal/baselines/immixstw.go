@@ -190,25 +190,15 @@ func (p *Immix) collectLocked() {
 func (p *Immix) collect() {
 	p.marks.ClearAll()
 	p.lineMarks.ClearAll()
-	var seeds []obj.Ref
-	p.vm.EachMutator(func(m *vm.Mutator) {
+	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 		ms := m.PlanState.(*immixMut)
 		ms.alloc.Flush()
 		// Discard barrier captures (segment-granular, no flattening);
 		// re-arming happens via marking below.
 		ms.decBuf.TakeSegs()
 		ms.modBuf.TakeSegs()
-		for _, r := range m.Roots {
-			if !r.IsNil() {
-				seeds = append(seeds, r)
-			}
-		}
 	})
-	for _, r := range p.vm.Globals {
-		if !r.IsNil() {
-			seeds = append(seeds, r)
-		}
-	}
+	seeds := p.vm.SnapshotRootsParallel(p.pool, nil)
 	t := &satb.Tracer{
 		OM:    p.om,
 		Marks: p.marks,

@@ -137,7 +137,7 @@ func (p *SemiSpace) collect() {
 	p.half = to
 
 	// Reset mutator allocators onto the to-space.
-	p.vm.EachMutator(func(m *vm.Mutator) {
+	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 		ms := m.PlanState.(*ssMut)
 		ms.alloc.Flush()
 		ms.alloc.Kind = to
@@ -147,19 +147,7 @@ func (p *SemiSpace) collect() {
 
 	// Copy the transitive closure. Work items are tagged root indices
 	// or heap slot addresses of already-copied objects.
-	var rootSlots []*obj.Ref
-	p.vm.EachMutator(func(m *vm.Mutator) {
-		for i := range m.Roots {
-			if !m.Roots[i].IsNil() {
-				rootSlots = append(rootSlots, &m.Roots[i])
-			}
-		}
-	})
-	for i := range p.vm.Globals {
-		if !p.vm.Globals[i].IsNil() {
-			rootSlots = append(rootSlots, &p.vm.Globals[i])
-		}
-	}
+	rootSlots := p.vm.RootSlots(p.pool, nil)
 	items := make([]mem.Address, 0, len(rootSlots))
 	for i := range rootSlots {
 		items = append(items, mem.Address(i)|ssRootTag)

@@ -372,22 +372,13 @@ func (p *Shen) runCycle() {
 				}
 			})
 			p.tracer.Begin()
-			var seeds []obj.Ref
-			p.vm.EachMutator(func(m *vm.Mutator) {
+			// SATB drains are multi-producer safe; only the seed
+			// snapshot needs gathering (parallel over shards).
+			p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 				ms := m.PlanState.(*shenMut)
 				p.satbIn.Append(ms.satbB.Take())
-				for _, r := range m.Roots {
-					if !r.IsNil() {
-						seeds = append(seeds, r)
-					}
-				}
 			})
-			for _, r := range p.vm.Globals {
-				if !r.IsNil() {
-					seeds = append(seeds, r)
-				}
-			}
-			p.tracer.Seed(seeds)
+			p.tracer.Seed(p.vm.SnapshotRootsParallel(p.pool, nil))
 			p.phase.Store(phMark)
 			p.pacer.ObserveCycleStart(policy.Signals{
 				HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
@@ -430,7 +421,7 @@ func (p *Shen) runCycle() {
 	// select the collection set.
 	p.vm.RunCollection(nil, func() {
 		p.vm.StopTheWorld("final-mark", func() {
-			p.vm.EachMutator(func(m *vm.Mutator) {
+			p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 				ms := m.PlanState.(*shenMut)
 				p.satbIn.Append(ms.satbB.Take())
 				// Evacuation copies into fresh blocks; flush bump spans
@@ -513,7 +504,7 @@ func (p *Shen) runCycle() {
 	// Final update (pause): fix roots, release the cset.
 	p.vm.RunCollection(nil, func() {
 		dur := p.vm.StopTheWorld("final-update", func() {
-			p.vm.FixRoots(func(r obj.Ref) obj.Ref { return p.om.Resolve(r) })
+			p.vm.FixRootsParallel(p.pool, func(r obj.Ref) obj.Ref { return p.om.Resolve(r) })
 			// Mutator bump spans may hold stale refs written before the
 			// update pass visited them; their blocks were flushed at
 			// final-mark, and everything allocated since contains only

@@ -107,7 +107,13 @@ type Config struct {
 
 // Signals supplies the cumulative inputs the governor differences into
 // windows: total mutator busy time, total collector work, total
-// stop-the-world time, and the live mutator count.
+// stop-the-world time, and the live mutator count. Implementations must
+// be cheap and O(1)-ish in mutator count — the governor samples this
+// every few milliseconds (vm.VM derives busy time from per-shard
+// aggregates rather than walking mutators). Samples may run slightly
+// ahead of or behind the per-mutator truth while parks or registration
+// changes are in flight; the windowed consumers clamp the resulting
+// small negative deltas.
 type Signals interface {
 	ConcSignals() (mutBusy, gcWork, pause time.Duration, mutators int)
 }

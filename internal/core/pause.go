@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -90,15 +91,21 @@ func (p *LXR) pausePipeline(cause string) string {
 	allocVol := p.allocSince.Swap(0)
 	allocObjs := p.allocObjects.Swap(0)
 	slowOps := p.barrierSlow.Swap(0)
-	p.vm.EachMutator(func(m *vm.Mutator) {
+	var flushMu sync.Mutex
+	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 		ms := m.PlanState.(*mutState)
 		ms.alloc.Flush()
-		allocVol += ms.alloc.HarvestSinceEpoch() + ms.largeSince
-		allocObjs += ms.allocObjs
-		slowOps += ms.slowOps
+		vol := ms.alloc.HarvestSinceEpoch() + ms.largeSince
+		objs, slow := ms.allocObjs, ms.slowOps
 		ms.largeSince, ms.allocObjs, ms.slowOps, ms.slowPub = 0, 0, 0, 0
+		segs := ms.modBuf.TakeSegs()
+		flushMu.Lock()
+		allocVol += vol
+		allocObjs += objs
+		slowOps += slow
 		decSeeds = ms.decBuf.TakeInto(decSeeds)
-		modSegs = append(modSegs, ms.modBuf.TakeSegs()...)
+		modSegs = append(modSegs, segs...)
+		flushMu.Unlock()
 	})
 	decSeeds = append(decSeeds, p.conc.decs.Take()...)
 	modSegs = append(modSegs, p.conc.mods.TakeSegs()...)
@@ -273,7 +280,7 @@ func (p *LXR) pausePipeline(cause string) string {
 	// above), so the per-mutator flag recomputed here is valid for the
 	// whole next epoch.
 	remWatch := p.satbActive.Load() && len(p.evacSet) > 0
-	p.vm.EachMutator(func(m *vm.Mutator) {
+	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 		m.BarrierWatch = remWatch
 	})
 	p.verifyHeap("end")
@@ -304,20 +311,7 @@ var testDoubleAllocHook func(p *LXR, src, dst obj.Ref, oldRC uint32, al *immix.A
 // stacks and globals) so increment processing can redirect them when the
 // referent is evacuated.
 func (p *LXR) collectRootSlots() {
-	p.rootSlots = p.rootSlots[:0]
-	p.vm.EachMutator(func(m *vm.Mutator) {
-		for i := range m.Roots {
-			if !m.Roots[i].IsNil() {
-				p.rootSlots = append(p.rootSlots, &m.Roots[i])
-			}
-		}
-	})
-	g := p.vm.Globals
-	for i := range g {
-		if !g[i].IsNil() {
-			p.rootSlots = append(p.rootSlots, &g[i])
-		}
-	}
+	p.rootSlots = p.vm.RootSlots(p.pool, p.rootSlots[:0])
 }
 
 // --- increment processing -----------------------------------------------------

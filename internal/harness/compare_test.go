@@ -163,6 +163,51 @@ func TestCompareSummaries(t *testing.T) {
 	}
 }
 
+// Mutscale cells record only a handful of pauses, so their gated tail
+// quantiles carry a raised floor: an isolated scheduler stall inside
+// the 25 ms floor must pass, a doubled p50 (systemic scaling
+// regression) and a tail excursion past the floor must both flag.
+func TestCompareSummariesMutScaleFloors(t *testing.T) {
+	base := RunSummary{Experiment: "mutscale", Bench: "muts1024", Collector: "G1", OK: true,
+		PauseMS: map[string]float64{"p50": 10.0, "p99": 12.5, "max": 12.5},
+		TTSPMS:  map[string]float64{"p50": 0.1, "p99": 0.6, "max": 0.6}}
+	oldData := mustJSON(t, []RunSummary{base})
+
+	hiccup := base
+	hiccup.PauseMS = map[string]float64{"p50": 10.5, "p99": 37.0, "max": 37.0}
+	// Wakeup-lateness latency tails are scheduler jitter at mutscale's
+	// thread counts and must not be gated there.
+	hiccup.LatencyMS = map[string]float64{"p99": 170.0, "p99.9": 240.0}
+	withLat := base
+	withLat.LatencyMS = map[string]float64{"p99": 8.0, "p99.9": 19.0}
+	if n, out := compareData(t, mustJSON(t, []RunSummary{withLat}), mustJSON(t, []RunSummary{hiccup})); n != 0 {
+		t.Fatalf("isolated tail stall / latency jitter within the mutscale rules flagged (%d):\n%s", n, out)
+	}
+
+	systemic := base
+	systemic.PauseMS = map[string]float64{"p50": 25.0, "p99": 30.0, "max": 30.0}
+	n, out := compareData(t, oldData, mustJSON(t, []RunSummary{systemic}))
+	if n != 1 || !strings.Contains(out, "pause p50 REGRESSION") {
+		t.Fatalf("doubled mutscale p50 not flagged as exactly 1 regression (%d):\n%s", n, out)
+	}
+
+	gross := base
+	gross.PauseMS = map[string]float64{"p50": 10.5, "p99": 60.0, "max": 60.0}
+	if n, _ := compareData(t, oldData, mustJSON(t, []RunSummary{gross})); n != 2 {
+		t.Fatalf("tail excursion past the mutscale floor: want p99+max flagged, got %d", n)
+	}
+
+	// Non-mutscale summaries keep the tight 1 ms floor on the tail.
+	plain := base
+	plain.Experiment = "table6"
+	plainOld := mustJSON(t, []RunSummary{plain})
+	plainSlow := plain
+	plainSlow.PauseMS = map[string]float64{"p50": 10.5, "p99": 37.0, "max": 37.0}
+	if n, _ := compareData(t, plainOld, mustJSON(t, []RunSummary{plainSlow})); n != 2 {
+		t.Fatalf("non-mutscale tail regression: want p99+max flagged, got %d", n)
+	}
+}
+
 func TestCompareRejectsMismatchedFormats(t *testing.T) {
 	fp := mustJSON(t, fpReport(1))
 	sum := mustJSON(t, []RunSummary{{Bench: "b", Collector: "c", OK: true,

@@ -67,6 +67,12 @@ type RunSummary struct {
 	PauseMS    map[string]float64 `json:"pause_ms"`
 	PauseCount int                `json:"pause_count"`
 
+	// TTSPMS is the time-to-safepoint distribution in ms (how long each
+	// stop-the-world rendezvous took to bring every mutator to rest),
+	// computed exactly from the recorded pauses. The mutscale experiment
+	// gates on it; omitted when a run had no pauses.
+	TTSPMS map[string]float64 `json:"ttsp_ms,omitempty"`
+
 	// PausePhaseMS breaks the pause distribution down by phase kind
 	// ("young", "mixed", "rc", "rc+mark", ...), the paper's per-phase
 	// pause attribution.
@@ -141,6 +147,13 @@ func (r *RunResult) Summary() RunSummary {
 		"p99.9":  r.PausePercentile(99.9),
 		"p99.99": r.PausePercentile(99.99),
 		"max":    r.PausePercentile(100),
+	}
+	if len(r.Pauses) > 0 {
+		s.TTSPMS = map[string]float64{
+			"p50": r.TTSPPercentileMS(50),
+			"p99": r.TTSPPercentileMS(99),
+			"max": r.TTSPPercentileMS(100),
+		}
 	}
 	if len(r.PauseHist) > 0 {
 		s.PausePhaseMS = map[string]PhaseDigest{}

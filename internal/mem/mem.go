@@ -171,11 +171,17 @@ func (a *Arena) StoreRef(addr Address, v Address) {
 
 // Zero clears n bytes starting at addr. addr and n must be word aligned.
 // This is the bulk-zeroing path used when blocks or line spans are handed
-// to allocators.
+// to allocators. Each word is cleared atomically: a span can be zeroed
+// by an evacuation worker's allocator while another worker atomically
+// probes a plausible-but-stale reference that happens to land inside it
+// (forwarding-word loads on values read through stale dirty/remset
+// slots), and mixing plain and atomic access to the same word is a data
+// race even when the probed value is discarded.
 func (a *Arena) Zero(addr Address, n int) {
 	w := int(addr >> WordLog)
-	end := w + n/WordSize
-	clear(a.words[w:end])
+	for end := w + n/WordSize; w < end; w++ {
+		atomic.StoreUint64(&a.words[w], 0)
+	}
 }
 
 // ZeroRange clears the bytes in [start, end).
@@ -184,12 +190,21 @@ func (a *Arena) ZeroRange(start, end Address) {
 }
 
 // Copy copies n bytes from src to dst. Both must be word aligned. It is
-// used for object evacuation; per-word copies keep the operation cheap
-// while still touching real memory.
+// used for object evacuation, where both sides can be touched
+// concurrently by other collector workers through word-atomic accesses:
+// a parallel evacuation may update a dirty/remset slot in place while
+// the object containing the slot is being copied, and forwarding-word
+// probes of plausible-but-stale references can land inside a freshly
+// allocated destination. The copy protocol converges either way (the
+// new copy's slots are rescanned and every value resolves through its
+// forwarding word), but the accesses themselves must be word-atomic —
+// a plain memmove against concurrent atomics is a data race.
 func (a *Arena) Copy(dst, src Address, n int) {
 	dw := int(dst >> WordLog)
 	sw := int(src >> WordLog)
-	copy(a.words[dw:dw+n/WordSize], a.words[sw:sw+n/WordSize])
+	for i := 0; i < n/WordSize; i++ {
+		atomic.StoreUint64(&a.words[dw+i], atomic.LoadUint64(&a.words[sw+i]))
+	}
 }
 
 // Checksum computes a simple additive checksum over [start, start+n).

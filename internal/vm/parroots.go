@@ -1,0 +1,162 @@
+package vm
+
+import (
+	"lxr/internal/gcwork"
+	"lxr/internal/obj"
+)
+
+// Parallel root scanning. The serial SnapshotRoots/FixRoots/EachMutator
+// walks are O(mutators) inside every pause; at a thousand mutators they
+// dominate pause time. These variants fan the walk out over a gcwork
+// pool, partitioned by rendezvous shard (plus one extra partition for
+// the global root slots), so each mutator — and each root slot — is
+// visited by exactly one worker. They share the serial walks' contract:
+// the world must be stopped. Below parRootThreshold mutators the serial
+// walk wins (no dispatch cost), so each variant falls back to it.
+
+// parRootThreshold is the mutator count below which the parallel root
+// walks degrade to their serial forms. Worker dispatch costs a few
+// microseconds; with a handful of mutators the serial walk is already
+// cheaper than waking the pool.
+const parRootThreshold = 64
+
+// globalsPart is the extra ParallelFor partition index (after the
+// MutatorShards mutator partitions) that owns the global root slots.
+const globalsPart = MutatorShards
+
+// EachMutatorParallel invokes f for every registered mutator, fanning
+// out over the pool's workers with one partition per rendezvous shard.
+// f must be safe to call concurrently for distinct mutators. World must
+// be stopped.
+func (v *VM) EachMutatorParallel(pool *gcwork.Pool, f func(m *Mutator)) {
+	if pool == nil || v.MutatorCount() < parRootThreshold {
+		v.EachMutator(f)
+		return
+	}
+	pool.ParallelFor(MutatorShards, func(_, start, end int) {
+		for s := start; s < end; s++ {
+			for _, m := range v.shards[s].muts {
+				f(m)
+			}
+		}
+	})
+}
+
+// SnapshotRootsParallel appends every root (all mutator shadow stacks
+// plus the global root slots) to dst, scanning shards in parallel.
+// Workers write disjoint per-partition slices which are concatenated
+// serially, so the result is a permutation-by-shard of the serial
+// snapshot with identical multiset. World must be stopped.
+func (v *VM) SnapshotRootsParallel(pool *gcwork.Pool, dst []obj.Ref) []obj.Ref {
+	if pool == nil || v.MutatorCount() < parRootThreshold {
+		return v.SnapshotRoots(dst)
+	}
+	var outs [MutatorShards + 1][]obj.Ref
+	pool.ParallelFor(MutatorShards+1, func(_, start, end int) {
+		for s := start; s < end; s++ {
+			var out []obj.Ref
+			if s == globalsPart {
+				for _, r := range v.Globals {
+					if !r.IsNil() {
+						out = append(out, r)
+					}
+				}
+			} else {
+				for _, m := range v.shards[s].muts {
+					for _, r := range m.Roots {
+						if !r.IsNil() {
+							out = append(out, r)
+						}
+					}
+				}
+			}
+			outs[s] = out
+		}
+	})
+	for _, out := range outs {
+		dst = append(dst, out...)
+	}
+	return dst
+}
+
+// FixRootsParallel rewrites every non-nil root slot through f, scanning
+// shards in parallel. Partitions are disjoint (each mutator belongs to
+// exactly one shard; globals have their own partition), so every slot
+// is rewritten exactly once. f must be safe to call concurrently.
+// World must be stopped.
+func (v *VM) FixRootsParallel(pool *gcwork.Pool, f func(obj.Ref) obj.Ref) {
+	if pool == nil || v.MutatorCount() < parRootThreshold {
+		v.FixRoots(f)
+		return
+	}
+	pool.ParallelFor(MutatorShards+1, func(_, start, end int) {
+		for s := start; s < end; s++ {
+			if s == globalsPart {
+				for i, r := range v.Globals {
+					if !r.IsNil() {
+						v.Globals[i] = f(r)
+					}
+				}
+				continue
+			}
+			for _, m := range v.shards[s].muts {
+				for j, r := range m.Roots {
+					if !r.IsNil() {
+						m.Roots[j] = f(r)
+					}
+				}
+			}
+		}
+	})
+}
+
+// RootSlots appends a pointer to every non-nil root slot (mutator
+// shadow stacks and globals) to dst, scanning shards in parallel when
+// the mutator count warrants it. Evacuating collectors collect these so
+// increment/evacuation processing can redirect each slot when its
+// referent moves; centralising the gather here replaces the per-plan
+// EachMutator loops. World must be stopped.
+func (v *VM) RootSlots(pool *gcwork.Pool, dst []*obj.Ref) []*obj.Ref {
+	gatherGlobals := func(dst []*obj.Ref) []*obj.Ref {
+		for i := range v.Globals {
+			if !v.Globals[i].IsNil() {
+				dst = append(dst, &v.Globals[i])
+			}
+		}
+		return dst
+	}
+	if pool == nil || v.MutatorCount() < parRootThreshold {
+		for i := range v.shards {
+			for _, m := range v.shards[i].muts {
+				for j := range m.Roots {
+					if !m.Roots[j].IsNil() {
+						dst = append(dst, &m.Roots[j])
+					}
+				}
+			}
+		}
+		return gatherGlobals(dst)
+	}
+	var outs [MutatorShards + 1][]*obj.Ref
+	pool.ParallelFor(MutatorShards+1, func(_, start, end int) {
+		for s := start; s < end; s++ {
+			var out []*obj.Ref
+			if s == globalsPart {
+				out = gatherGlobals(out)
+			} else {
+				for _, m := range v.shards[s].muts {
+					for j := range m.Roots {
+						if !m.Roots[j].IsNil() {
+							out = append(out, &m.Roots[j])
+						}
+					}
+				}
+			}
+			outs[s] = out
+		}
+	})
+	for _, out := range outs {
+		dst = append(dst, out...)
+	}
+	return dst
+}

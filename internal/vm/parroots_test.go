@@ -1,0 +1,173 @@
+package vm_test
+
+// Property test for the parallel root-scan APIs across all five
+// collectors: the parallel snapshot visits exactly the serial multiset,
+// the parallel rewrite applies to every non-nil slot exactly once, and
+// the parallel slot gather returns exactly the serial pointer set —
+// with randomized mutator and root counts on both sides of the
+// serial-fallback threshold.
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"lxr/internal/baselines"
+	"lxr/internal/core"
+	"lxr/internal/gcwork"
+	"lxr/internal/obj"
+	"lxr/internal/vm"
+)
+
+const parHeap = 32 << 20
+
+func fiveCollectors() []struct {
+	name string
+	mk   func() vm.Plan
+} {
+	return []struct {
+		name string
+		mk   func() vm.Plan
+	}{
+		{"LXR", func() vm.Plan { return core.New(core.Config{HeapBytes: parHeap, GCThreads: 2}) }},
+		{"G1", func() vm.Plan { return baselines.NewG1(parHeap, 2) }},
+		{"Shenandoah", func() vm.Plan { return baselines.NewShenandoah(parHeap, 2) }},
+		{"SemiSpace", func() vm.Plan { return baselines.NewSemiSpace("SemiSpace", parHeap, 2) }},
+		{"Immix", func() vm.Plan { return baselines.NewImmix(parHeap, 2, false) }},
+	}
+}
+
+func sortedRefs(rs []obj.Ref) []obj.Ref {
+	out := append([]obj.Ref(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestParallelRootScanMatchesSerial(t *testing.T) {
+	pool := gcwork.NewPool(4)
+	defer pool.Stop()
+
+	for _, c := range fiveCollectors() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(c.name)) * 1337))
+			for trial := 0; trial < 4; trial++ {
+				// Half the trials sit below the serial-fallback
+				// threshold, half well above it, so both paths run.
+				nMut := 2 + rng.Intn(40)
+				if trial%2 == 1 {
+					nMut = 70 + rng.Intn(120)
+				}
+				v := vm.New(c.mk(), 1+rng.Intn(8))
+
+				// Register mutators with randomized root counts and
+				// fill slots with unique non-nil values (some left nil
+				// to exercise filtering). The slot values only flow
+				// through root scans, never through the heap, so they
+				// need not be real objects.
+				next := obj.Ref(16)
+				var want []obj.Ref
+				muts := make([]*vm.Mutator, nMut)
+				for i := range muts {
+					muts[i] = v.RegisterMutator(rng.Intn(9))
+					for j := range muts[i].Roots {
+						if rng.Intn(4) == 0 {
+							continue
+						}
+						muts[i].Roots[j] = next
+						want = append(want, next)
+						next += 16
+					}
+				}
+				for j := range v.Globals {
+					if rng.Intn(4) != 0 {
+						v.Globals[j] = next
+						want = append(want, next)
+						next += 16
+					}
+				}
+
+				// Snapshot: parallel multiset == serial multiset.
+				serial := v.SnapshotRoots(nil)
+				par := v.SnapshotRootsParallel(pool, nil)
+				ss, ps := sortedRefs(serial), sortedRefs(par)
+				if len(ss) != len(want) {
+					t.Fatalf("trial %d: serial snapshot %d roots, want %d", trial, len(ss), len(want))
+				}
+				if len(ps) != len(ss) {
+					t.Fatalf("trial %d: parallel snapshot %d roots, serial %d", trial, len(ps), len(ss))
+				}
+				for k := range ss {
+					if ss[k] != ps[k] {
+						t.Fatalf("trial %d: snapshot multiset mismatch at %d: serial %v parallel %v", trial, k, ss[k], ps[k])
+					}
+				}
+
+				// Slot gather: parallel pointer set == serial pointer set.
+				serialSlots := map[*obj.Ref]bool{}
+				v.EachMutator(func(m *vm.Mutator) {
+					for j := range m.Roots {
+						if !m.Roots[j].IsNil() {
+							serialSlots[&m.Roots[j]] = true
+						}
+					}
+				})
+				for j := range v.Globals {
+					if !v.Globals[j].IsNil() {
+						serialSlots[&v.Globals[j]] = true
+					}
+				}
+				slots := v.RootSlots(pool, nil)
+				if len(slots) != len(serialSlots) {
+					t.Fatalf("trial %d: RootSlots returned %d slots, want %d", trial, len(slots), len(serialSlots))
+				}
+				for _, s := range slots {
+					if !serialSlots[s] {
+						t.Fatalf("trial %d: RootSlots returned slot %p not in serial set", trial, s)
+					}
+					delete(serialSlots, s) // also catches duplicates
+				}
+
+				// Rewrite: every non-nil slot advanced exactly once.
+				// A slot visited twice would land at +32.
+				var calls atomic.Int64
+				v.FixRootsParallel(pool, func(r obj.Ref) obj.Ref {
+					calls.Add(1)
+					return r + 16
+				})
+				if got := calls.Load(); got != int64(len(want)) {
+					t.Fatalf("trial %d: rewrite callback ran %d times, want %d", trial, got, len(want))
+				}
+				after := sortedRefs(v.SnapshotRoots(nil))
+				for k := range after {
+					if after[k] != ss[k]+16 {
+						t.Fatalf("trial %d: slot %d rewritten to %v, want %v (exactly-once violated)", trial, k, after[k], ss[k]+16)
+					}
+				}
+
+				// EachMutatorParallel visits every mutator exactly once.
+				var seen atomic.Int64
+				v.EachMutatorParallel(pool, func(m *vm.Mutator) { seen.Add(1) })
+				if got := seen.Load(); got != int64(nMut) {
+					t.Fatalf("trial %d: EachMutatorParallel visited %d mutators, want %d", trial, got, nMut)
+				}
+
+				// Clear roots before unbinding so no plan treats the
+				// synthetic values as live objects during teardown.
+				for _, m := range muts {
+					for j := range m.Roots {
+						m.Roots[j] = obj.Ref(0)
+					}
+				}
+				for j := range v.Globals {
+					v.Globals[j] = obj.Ref(0)
+				}
+				for _, m := range muts {
+					m.Deregister()
+				}
+				v.Shutdown()
+			}
+		})
+	}
+}

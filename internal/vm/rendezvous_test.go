@@ -1,0 +1,355 @@
+package vm
+
+// High-mutator-count rendezvous tests: these exercise the sharded
+// running-token protocol directly (they live inside package vm so they
+// can assert on shard state), with a stub plan so no collector logic
+// runs. The five-collector integration properties live in the external
+// parroots_test.go.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lxr/internal/mem"
+	"lxr/internal/obj"
+)
+
+// stubPlan is a minimal no-op Plan: enough to register mutators and run
+// stop-the-world pauses without any collector machinery.
+type stubPlan struct {
+	arena *mem.Arena
+	v     *VM
+}
+
+func newStubPlan() *stubPlan { return &stubPlan{arena: mem.NewArena(1 << 20)} }
+
+func (p *stubPlan) Name() string             { return "stub" }
+func (p *stubPlan) Arena() *mem.Arena        { return p.arena }
+func (p *stubPlan) Boot(v *VM)               { p.v = v }
+func (p *stubPlan) BindMutator(m *Mutator)   {}
+func (p *stubPlan) UnbindMutator(m *Mutator) {}
+func (p *stubPlan) Alloc(m *Mutator, l obj.Layout) obj.Ref {
+	panic("stubPlan: Alloc not supported")
+}
+func (p *stubPlan) WriteRef(m *Mutator, src obj.Ref, i int, val obj.Ref) {
+	panic("stubPlan: WriteRef not supported")
+}
+func (p *stubPlan) ReadRef(m *Mutator, src obj.Ref, i int) obj.Ref {
+	panic("stubPlan: ReadRef not supported")
+}
+func (p *stubPlan) PollSafepoint(m *Mutator) {}
+func (p *stubPlan) CollectNow(cause string)  {}
+func (p *stubPlan) Shutdown()                {}
+
+// runningTokens sums the running-token counts across all shards. Only
+// meaningful under a stopped world (or a quiescent VM).
+func runningTokens(v *VM) int {
+	n := 0
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.Lock()
+		n += sh.running
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TestRendezvousStorm runs a 512-mutator register/park/deregister storm
+// against a concurrent stream of stop-the-world pauses and asserts
+// exact running-token conservation: every pause body observes zero
+// tokens across all shards, every mutator finishes (no lost wakeups),
+// and at quiescence the token count and registered set are empty.
+func TestRendezvousStorm(t *testing.T) {
+	const (
+		nMuts   = 512
+		nPauses = 40
+	)
+	v := New(newStubPlan(), 4)
+
+	var (
+		wg        sync.WaitGroup
+		stopPause atomic.Bool
+		pauses    atomic.Int32
+	)
+
+	// Stopper: stop-the-world in a tight loop while the storm runs.
+	pauseDone := make(chan struct{})
+	go func() {
+		defer close(pauseDone)
+		for i := 0; i < nPauses; i++ {
+			v.RunCollection(nil, func() {
+				v.StopTheWorld("storm", func() {
+					if got := runningTokens(v); got != 0 {
+						t.Errorf("pause %d: %d running tokens during pause body", i, got)
+					}
+					// The registered set must be consistent: every
+					// shard list entry agrees on its own placement.
+					v.EachMutator(func(m *Mutator) {
+						if m.shard.muts[m.shardIdx] != m {
+							t.Errorf("pause %d: mutator %d shard placement corrupt", i, m.ID)
+						}
+					})
+					pauses.Add(1)
+				})
+			})
+			if stopPause.Load() {
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < nMuts; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			m := v.RegisterMutator(2)
+			for it := 0; it < 50; it++ {
+				switch rng.Intn(3) {
+				case 0:
+					m.Safepoint()
+				case 1:
+					m.PollPark()
+				case 2:
+					m.BlockedSleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+				}
+			}
+			m.Deregister()
+		}(g)
+	}
+
+	wg.Wait()
+	stopPause.Store(true)
+	// One final pause so the stopper never blocks forever waiting on a
+	// token, then wait for it.
+	<-pauseDone
+
+	if got := runningTokens(v); got != 0 {
+		t.Fatalf("quiescent token count = %d, want 0", got)
+	}
+	if got := v.MutatorCount(); got != 0 {
+		t.Fatalf("quiescent MutatorCount = %d, want 0", got)
+	}
+	if pauses.Load() == 0 {
+		t.Fatal("stopper never completed a pause")
+	}
+}
+
+// TestStormSurvivesConcurrentStops runs registration churn against
+// back-to-back stop-the-worlds and asserts no mutator is lost: the
+// total park time recorded by the shards equals the sum over mutators,
+// and all goroutines terminate.
+func TestStormSurvivesConcurrentStops(t *testing.T) {
+	const nMuts = 256
+	v := New(newStubPlan(), 0)
+
+	var wg sync.WaitGroup
+	for g := 0; g < nMuts; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				m := v.RegisterMutator(1)
+				for it := 0; it < 20; it++ {
+					m.PollPark()
+				}
+				m.Deregister()
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var pauseWG sync.WaitGroup
+	pauseWG.Add(1)
+	go func() {
+		defer pauseWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v.RunCollection(nil, func() {
+				v.StopTheWorld("churn", func() {
+					if got := runningTokens(v); got != 0 {
+						t.Errorf("%d running tokens during pause body", got)
+					}
+				})
+			})
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	pauseWG.Wait()
+	if got := v.MutatorCount(); got != 0 {
+		t.Fatalf("MutatorCount = %d after storm, want 0", got)
+	}
+}
+
+// TestPausePanicRestartsShardedWorld parks mutators across many shards,
+// panics inside the pause body, and asserts the world restarts: every
+// parked mutator resumes and deregisters. This is the sharded-parking
+// regression for the restart-on-panic guarantee (the defer must
+// broadcast every shard's start condvar, not just one).
+func TestPausePanicRestartsShardedWorld(t *testing.T) {
+	const nMuts = 128 // > MutatorShards so every shard holds parked mutators
+	v := New(newStubPlan(), 0)
+
+	var wg sync.WaitGroup
+	started := make(chan struct{}, nMuts)
+	for g := 0; g < nMuts; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := v.RegisterMutator(1)
+			started <- struct{}{}
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				m.PollPark()
+				if v.GCEpoch() > 0 {
+					break
+				}
+			}
+			m.Deregister()
+		}()
+	}
+	for g := 0; g < nMuts; g++ {
+		<-started
+	}
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("pause body panic did not propagate")
+			}
+		}()
+		v.RunCollection(nil, func() {
+			v.StopTheWorld("boom", func() { panic("pause boom") })
+		})
+	}()
+	// RunCollection's epoch bump is skipped when f panics past it, so
+	// bump it here to release the spinners.
+	v.gcEpoch.Add(1)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("mutators still parked after pause-body panic: world not restarted")
+	}
+	if got := runningTokens(v); got != 0 {
+		t.Fatalf("token count = %d after restart, want 0", got)
+	}
+}
+
+// TestConcSignalsMatchesWalkAtQuiescence asserts the sharded O(shards)
+// busy aggregate is bit-for-bit equal to the serial per-mutator walk at
+// a shared instant, including after parks and deregistrations.
+func TestConcSignalsMatchesWalkAtQuiescence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		v := New(newStubPlan(), 0)
+		n := 1 + rng.Intn(97)
+		done := make(chan struct{})
+		for i := 0; i < n; i++ {
+			sleep := time.Duration(rng.Intn(200)) * time.Microsecond
+			go func() {
+				m := v.RegisterMutator(1)
+				m.BlockedSleep(sleep)
+				done <- struct{}{}
+				// Park on the channel until the main goroutine has
+				// compared, then leave.
+				m.Blocked(func() { <-v.shutdownCh() })
+				m.Deregister()
+			}()
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+
+		// All registrations and parks are recorded; nothing in flight
+		// except the final Blocked parks, which are recorded on resume —
+		// the walk and the aggregate both see parkedNs as of now.
+		now := time.Now()
+		nowNs := now.Sub(v.sigEpoch).Nanoseconds()
+		walk, walkN := v.concSignalsWalk(now)
+		agg, aggN := v.busyAt(nowNs)
+		if walkN != aggN || walkN != n {
+			t.Fatalf("trial %d: mutator counts walk=%d agg=%d want %d", trial, walkN, aggN, n)
+		}
+		if walk != agg {
+			t.Fatalf("trial %d: busy mismatch walk=%dns agg=%dns (diff %d)", trial, walk, agg, walk-agg)
+		}
+		v.releaseShutdownCh()
+	}
+}
+
+// TestConcSignalsMonotoneUnderChurn samples ConcSignals busy time while
+// mutators register, run briefly and deregister, asserting every
+// windowed delta is non-negative: registration and retirement may never
+// make cumulative busy time go backwards.
+func TestConcSignalsMonotoneUnderChurn(t *testing.T) {
+	v := New(newStubPlan(), 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := v.RegisterMutator(1)
+				for i := 0; i < 10; i++ {
+					m.PollPark()
+				}
+				m.Deregister()
+			}
+		}(g)
+	}
+
+	prev := time.Duration(-1)
+	for i := 0; i < 2000; i++ {
+		busy, _, _, _ := v.ConcSignals()
+		if busy < prev {
+			t.Fatalf("sample %d: busy went backwards %v -> %v", i, prev, busy)
+		}
+		prev = busy
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// shutdownCh / releaseShutdownCh give tests a broadcast channel that
+// Blocked mutators can wait on without the VM knowing about it.
+var (
+	testBlockMu sync.Mutex
+	testBlockCh = map[*VM]chan struct{}{}
+)
+
+func (v *VM) shutdownCh() chan struct{} {
+	testBlockMu.Lock()
+	defer testBlockMu.Unlock()
+	ch, ok := testBlockCh[v]
+	if !ok {
+		ch = make(chan struct{})
+		testBlockCh[v] = ch
+	}
+	return ch
+}
+
+func (v *VM) releaseShutdownCh() {
+	testBlockMu.Lock()
+	ch := testBlockCh[v]
+	delete(testBlockCh, v)
+	testBlockMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lxr/internal/telemetry"
+	"lxr/internal/vm"
+)
+
+// The mutscale workload measures safepoint-rendezvous and root-scan
+// scalability: does pause time and time-to-safepoint stay flat as the
+// mutator count grows from 8 to 1024? To isolate the O(mutators) terms
+// the runtime contributes (rendezvous, root scanning, per-mutator pause
+// flushes) from collector physics that legitimately scale with heap or
+// live set, the workload holds everything else small and fixed per
+// mutator:
+//
+//   - sleep-dominated pacing: each mutator runs its own open-loop
+//     arrival stream (BlockedSleep between requests releases the
+//     running token), so the number of token-holders at any instant is
+//     set by total request rate, not mutator count — a pause request
+//     never waits behind a thousand busy threads;
+//   - fixed *total* retained live set: each mutator keeps a bounded
+//     retained chain, and the harness divides one total budget by the
+//     mutator count, so full-heap collectors' copy/trace cost — and,
+//     because the arrival rate is also divided, each retained object's
+//     wall-clock lifetime — is identical at every sweep point;
+//   - transient-dominated allocation: each request allocates a short
+//     burst of chain-linked objects that die when the request
+//     completes, so transient live at a pause tracks in-flight load,
+//     not thread count.
+//
+// Arrival streams are phase-staggered per mutator so wakeups spread
+// uniformly over the interval instead of thundering in lockstep.
+type MutScaleConfig struct {
+	Mutators       int     // worker thread count
+	RequestsPerMut int     // requests each mutator serves
+	RatePerMut     float64 // per-mutator arrival rate (requests/second)
+	ObjsPerReq     int     // transient objects allocated per request
+	RetainLen      int     // retained-chain length (per-mutator live set)
+}
+
+// MutScaleResult reports one mutscale run.
+type MutScaleResult struct {
+	Start   time.Time
+	Wall    time.Duration
+	QPS     float64
+	Latency *telemetry.Histogram // ns per request, arrival-to-completion
+	Failed  bool
+}
+
+// mutscale root slots.
+const (
+	msRootTransient = 0 // head of the current request's burst chain
+	msRootRetained  = 1 // head of the retained chain (bounded live set)
+	msNumRoots      = 2
+)
+
+// RunMutScale executes the scalability workload. Request i of mutator w
+// is scheduled at start + (i + w/n)·interval; its latency is measured
+// from that arrival (so GC stalls are charged, as in RunRequests).
+func RunMutScale(v *vm.VM, cfg MutScaleConfig) MutScaleResult {
+	n := cfg.Mutators
+	if n < 1 {
+		n = 1
+	}
+	rec := telemetry.NewRecorder(telemetry.LatencyConfig(), n)
+	interval := time.Duration(float64(time.Second) / cfg.RatePerMut)
+
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	start := time.Now().Add(10 * time.Millisecond)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := v.RegisterMutator(msNumRoots)
+			defer m.Deregister()
+			defer runGuard(&failed)
+			// Stagger this mutator's arrival phase across the interval.
+			phase := time.Duration(int64(interval) * int64(w) / int64(n))
+			retained := 0
+			for i := 0; i < cfg.RequestsPerMut && !failed.Load(); i++ {
+				arrival := start.Add(phase + time.Duration(i)*interval)
+				if wait := time.Until(arrival); wait > 0 {
+					m.BlockedSleep(wait)
+				}
+				mutScaleRequest(m, cfg, &retained, uint64(i))
+				rec.Record(w, int64(time.Since(arrival)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return MutScaleResult{
+		Start:   start,
+		Wall:    wall,
+		QPS:     float64(n*cfg.RequestsPerMut) / wall.Seconds(),
+		Latency: rec.Snapshot(),
+		Failed:  failed.Load(),
+	}
+}
+
+// mutScaleRequest allocates one request's transient burst and advances
+// the bounded retained chain.
+func mutScaleRequest(m *vm.Mutator, cfg MutScaleConfig, retained *int, seq uint64) {
+	var sum uint64
+	for j := 0; j < cfg.ObjsPerReq; j++ {
+		r := m.Rand()
+		payload := 24 + int(r%64)
+		o := m.Alloc(1, 2, payload)
+		m.WritePayload(o, 0, r)
+		// Chain within the burst so tracing has pointers to chase; the
+		// whole chain dies when the root is overwritten next request.
+		if prev := m.Roots[msRootTransient]; !prev.IsNil() && j%8 != 0 {
+			m.Store(o, 0, prev)
+		}
+		m.Roots[msRootTransient] = o
+		sum += r
+	}
+	// The request is done: drop the burst chain. Only requests actually
+	// in flight keep transient objects live, so the live set a pause
+	// sees tracks the instantaneous load, not the thread count.
+	m.Roots[msRootTransient] = 0
+	// Retain one object per request into a bounded chain: the chain
+	// grows to RetainLen then restarts, keeping the retained live set
+	// fixed (~RetainLen objects per mutator) however long the run.
+	o := m.Alloc(2, 1, 32)
+	m.WritePayload(o, 0, sum^seq)
+	if *retained > 0 && *retained < cfg.RetainLen {
+		m.Store(o, 0, m.Roots[msRootRetained])
+		*retained++
+	} else {
+		*retained = 1
+	}
+	m.Roots[msRootRetained] = o
+}
