@@ -31,32 +31,23 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"lxr/internal/fastbench"
 	"lxr/internal/harness"
-	"lxr/internal/workload"
 )
 
 func main() {
+	cf := harness.RegisterCommonFlags(flag.CommandLine, harness.CommonDefaults{Scale: "default"})
 	var (
 		experiment = flag.String("experiment", "table6", "experiment id (table1, table3, table4, table5, table6, table7, figure5, figure7, sensitivity, heapsens, mutscale, all)")
-		scale      = flag.String("scale", "default", "workload scaling: quick or default")
-		gcThreads  = flag.Int("gcthreads", 4, "parallel GC threads")
-		concW      = flag.Int("concworkers", 0, "GC workers borrowed by concurrent phases between pauses (0 = half of gcthreads)")
-		adaptive   = flag.Bool("adaptive", false, "size the concurrent borrow width adaptively from observed mutator utilization (conctrl governor); -concworkers becomes the initial width")
-		mmuFloor   = flag.Float64("mmufloor", 0, "adaptive governor's minimum-mutator-utilization target in (0,1); 0 = pure utilization policy (implies -adaptive when set)")
-		pacing     = flag.String("pacing", "static", "collection-trigger pacing: 'static' reproduces each collector's historical thresholds, 'adaptive' drives them from observed signals (load-scaled LXR epochs, headroom-based G1 IHOP, churn-aware free-fraction triggers); decisions are archived under \"pacing\" in -json either way")
-		interval   = flag.Duration("interval", 0, "periodic per-window report: snapshot merged histograms on this period and emit windowed latency/pause percentiles (e.g. 2s; also archived under \"intervals\" in -json)")
-		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
-		jsonOut    = flag.String("json", "", "write run summaries as JSON to this file ('-' = stdout)")
 		histOut    = flag.String("hist", "", "write full latency/pause histogram dumps as JSON to this file ('-' = stdout)")
 		fastpath   = flag.String("fastpath", "", "run the mutator fast-path microbench family (ns/alloc, ns/ptr-store fast+slow, ns/line-scan for LXR and the barrier-bearing baselines) and write the report to this file ('-' = stdout); other experiment flags are ignored")
 		fpSamples  = flag.Int("fpsamples", 5, "timed samples per fast-path benchmark (with -fastpath)")
 		compareTo  = flag.String("compare", "", "compare two BENCH_*.json artifacts: -compare OLD.json NEW.json (fastpath reports, histogram dumps, or run summaries); exits 1 if a noise-aware regression is found")
 	)
 	flag.Parse()
+	jsonOut := cf.JSON
 
 	if *compareTo != "" {
 		if flag.NArg() != 1 {
@@ -87,23 +78,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *mmuFloor < 0 || *mmuFloor >= 1 {
-		fmt.Fprintf(os.Stderr, "-mmufloor %v outside [0,1)\n", *mmuFloor)
+	opts, err := cf.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *pacing != "static" && *pacing != "adaptive" {
-		fmt.Fprintf(os.Stderr, "unknown -pacing %q (want static or adaptive)\n", *pacing)
-		os.Exit(2)
-	}
-	opts := harness.Options{
-		GCThreads:      *gcThreads,
-		ConcWorkers:    *concW,
-		Adaptive:       *adaptive || *mmuFloor > 0,
-		MMUFloor:       *mmuFloor,
-		PacingAdaptive: *pacing == "adaptive",
-		Interval:       *interval,
-		Out:            os.Stdout,
-	}
+	opts.Out = os.Stdout
 	var summaries []harness.RunSummary
 	var dumps []harness.HistDump
 	var jsonFile, histFile *os.File
@@ -140,19 +120,6 @@ func main() {
 			}
 		}
 	}
-	switch *scale {
-	case "quick":
-		opts.Scale = workload.QuickScale()
-	case "default":
-		opts.Scale = workload.DefaultScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
-	}
-	if *bench != "" {
-		opts.Bench = strings.Split(*bench, ",")
-	}
-
 	run := func(id string) {
 		start := time.Now()
 		curExperiment = id

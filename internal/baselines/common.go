@@ -36,6 +36,7 @@ import (
 	"lxr/internal/meta"
 	"lxr/internal/obj"
 	"lxr/internal/policy"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -66,6 +67,11 @@ type base struct {
 	// Boot and routes every start decision through it.
 	pacing policy.Mode
 	pacer  policy.Pacer
+
+	// events is the optional event tracer (nil when tracing is off —
+	// every recording site stays one predictable nil check). Named to
+	// avoid shadowing the plans' SATB tracers.
+	events *trace.Tracer
 }
 
 func newBase(name string, heapBytes, gcThreads int) base {
@@ -133,6 +139,16 @@ func (b *base) GovernorTrace() *conctrl.Trace {
 	return b.gov.Trace()
 }
 
+// SetTracer attaches the structured event tracer: the pool records loan
+// spans, the concurrent controller records quantum spans, the pacer
+// records trigger instants, and each plan's pause phases record spans on
+// the GC timeline. Must be called before Boot (the controller and pacer
+// are constructed there).
+func (b *base) SetTracer(t *trace.Tracer) {
+	b.events = t
+	b.pool.SetTracer(t)
+}
+
 // SetPacing selects the pacing mode (policy.Static reproduces each
 // collector's historical trigger behavior exactly; policy.Adaptive
 // drives the thresholds from the observed signals). Must be called
@@ -148,6 +164,14 @@ func (b *base) PacingTrace() *policy.Trace {
 	return b.pacer.Trace()
 }
 
+// armTracer connects the pacer's trigger hook to the event tracer.
+// Call from each plan's Boot, after the pacer is constructed.
+func (b *base) armTracer() {
+	if b.events != nil && b.pacer != nil {
+		policy.SetTriggerHook(b.pacer, b.events.TriggerHook())
+	}
+}
+
 // newController builds the plan's shared concurrent controller around
 // its cycle driver, attaching the adaptive governor when enabled.
 // stats may be nil for drivers that account their concurrent slices
@@ -155,7 +179,7 @@ func (b *base) PacingTrace() *policy.Trace {
 // selects the idle re-check period for occupancy-triggered drivers.
 // Call from Boot, once the VM exists.
 func (b *base) newController(d conctrl.CycleDriver, v *vm.VM, stats *vm.Stats, poll time.Duration) *conctrl.Controller {
-	cfg := conctrl.Config{Stats: stats, Width: b.concWorkers, Signals: v, Poll: poll}
+	cfg := conctrl.Config{Stats: stats, Width: b.concWorkers, Signals: v, Poll: poll, Trace: b.events}
 	if b.adaptive {
 		b.gov = conctrl.NewCollectorGovernor(b.pool.N, b.concWorkers, b.mmuFloor)
 		cfg.Governor = b.gov

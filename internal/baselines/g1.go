@@ -16,6 +16,7 @@ import (
 	"lxr/internal/policy"
 	"lxr/internal/remset"
 	"lxr/internal/satb"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -119,6 +120,7 @@ func (p *G1) Boot(v *vm.VM) {
 		BudgetBlocks:      p.bt.BudgetBlocks(),
 		YoungTargetBlocks: int(p.youngTarget),
 	})
+	p.armTracer()
 	p.ctl = p.newController(p.mark, v, v.Stats, 0)
 	p.ctl.Start()
 }
@@ -282,6 +284,8 @@ func (p *G1) collect() string {
 	p.ctl.Quiesce()
 	defer p.ctl.Release()
 	p.pausesYoung++
+	ev := p.events
+	ph := time.Now()
 
 	var dirty []mem.Address
 	var satbSegs [][]mem.Address
@@ -297,7 +301,9 @@ func (p *G1) collect() string {
 	})
 	dirty = append(dirty, p.mark.dirty.Take()...)
 	satbSegs = append(satbSegs, p.mark.satbIn.TakeSegs()...)
+	ev.PhaseArg(trace.NameFlush, ph, uint64(len(dirty)))
 	if p.marking.Load() {
+		ph = time.Now()
 		// Final mark: when the concurrent tracer has drained everything
 		// captured up to the previous epoch, this pause seeds the last
 		// captures (segment-granular, no flattening), completes the
@@ -312,6 +318,7 @@ func (p *G1) collect() string {
 			p.finishMark()
 			p.sweepLargeUnmarked(p.marks)
 		}
+		ev.Phase(trace.NameFinalMark, ph)
 	}
 
 	mixed := p.markDone.Load() && len(p.csetOld) > 0
@@ -320,7 +327,9 @@ func (p *G1) collect() string {
 	}
 
 	// Root slots (parallel gather over rendezvous shards).
+	ph = time.Now()
 	rootSlots := p.vm.RootSlots(p.pool, nil)
+	ev.PhaseArg(trace.NameRoots, ph, uint64(len(rootSlots)))
 
 	// Work items: tagged roots, dirty slots (old regions only — young
 	// slots die with their regions), and validated remset entries for
@@ -352,6 +361,7 @@ func (p *G1) collect() string {
 
 	evacMarks := p.evacMarks // scan-once guard for this pause
 	evacMarks.ClearAll()
+	ph = time.Now()
 	p.pool.Drain(items,
 		func(w *gcwork.Worker) {
 			w.Scratch = &immix.Allocator{BT: p.bt, Kind: g1KindOld, NoBudget: true,
@@ -379,6 +389,7 @@ func (p *G1) collect() string {
 			}
 		},
 		func(w *gcwork.Worker) { w.Scratch.(*immix.Allocator).Flush() })
+	ev.PhaseArg(trace.NameEvac, ph, uint64(len(items)))
 
 	// The concurrent mark's pending stack and inbox may hold addresses
 	// of objects this pause just moved; resolve them through the (still
@@ -399,7 +410,9 @@ func (p *G1) collect() string {
 	// live object, root or large object may still reference a region
 	// about to be released.
 	if mixed && g1AuditEnabled {
+		ph = time.Now()
 		p.auditMixedEvacuation(rootSlots)
+		ev.Phase(trace.NameAudit, ph)
 	}
 
 	// Free all young regions and — only at a mixed pause, when the cset
@@ -409,6 +422,7 @@ func (p *G1) collect() string {
 	// them here destroyed live data. Regions that suffered an
 	// evacuation failure are promoted in place instead: they keep their
 	// objects and join the old generation.
+	ph = time.Now()
 	p.bt.AllBlocks(func(idx int) {
 		st := p.bt.State(idx)
 		if st != immix.StateFull && st != immix.StateReserved {
@@ -430,6 +444,7 @@ func (p *G1) collect() string {
 		p.markDone.Store(false)
 	}
 	p.youngBlocks.Store(0)
+	ev.Phase(trace.NameFree, ph)
 
 	// Trigger a concurrent mark when occupancy crosses the pacer's
 	// IHOP threshold (fixed 45% of budget under static pacing;
@@ -439,7 +454,9 @@ func (p *G1) collect() string {
 			HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
 			BudgetBlocks: p.bt.BudgetBlocks(),
 		}) {
+		ph = time.Now()
 		p.startMark(rootSlots)
+		ev.Phase(trace.NameMarkStart, ph)
 	}
 	if mixed {
 		return "mixed"

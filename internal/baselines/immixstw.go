@@ -11,6 +11,7 @@ import (
 	"lxr/internal/obj"
 	"lxr/internal/policy"
 	"lxr/internal/satb"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -78,6 +79,7 @@ func (p *Immix) Boot(v *vm.VM) {
 	// Limit 0: collections are driven purely by allocation failure; the
 	// pacer archives each heap-full fire with its occupancy snapshot.
 	p.pacer = policy.NewHeapFullPacer(p.name, p.pacing, 0)
+	p.armTracer()
 }
 
 // Shutdown implements vm.Plan: parks and releases the persistent GC
@@ -188,6 +190,8 @@ func (p *Immix) collectLocked() {
 }
 
 func (p *Immix) collect() {
+	ev := p.events
+	ph := time.Now()
 	p.marks.ClearAll()
 	p.lineMarks.ClearAll()
 	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
@@ -198,6 +202,8 @@ func (p *Immix) collect() {
 		ms.decBuf.TakeSegs()
 		ms.modBuf.TakeSegs()
 	})
+	ev.Phase(trace.NameClear, ph)
+	ph = time.Now()
 	seeds := p.vm.SnapshotRootsParallel(p.pool, nil)
 	t := &satb.Tracer{
 		OM:    p.om,
@@ -214,7 +220,9 @@ func (p *Immix) collect() {
 	}
 	t.Seed(seeds)
 	t.DrainParallel(p.pool)
+	ev.PhaseArg(trace.NameMark, ph, uint64(len(seeds)))
 
+	ph = time.Now()
 	p.bt.RebuildFromSweep(func(idx int) immix.BlockClass {
 		if st := p.bt.State(idx); st == immix.StateLargeHead || st == immix.StateLargeBody || st == immix.StateUntracked {
 			return immix.ClassFull
@@ -239,6 +247,7 @@ func (p *Immix) collect() {
 	})
 	p.sweepLargeUnmarked(p.marks)
 	p.marks.ClearAll()
+	ev.Phase(trace.NameSweepRebuild, ph)
 }
 
 // markLines marks every line the object covers, plus the conservative

@@ -9,6 +9,7 @@ import (
 	"lxr/internal/meta"
 	"lxr/internal/obj"
 	"lxr/internal/policy"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -49,6 +50,7 @@ type ssMut struct{ alloc immix.Allocator }
 func (p *SemiSpace) Boot(v *vm.VM) {
 	p.vm = v
 	p.pacer = policy.NewHeapFullPacer(p.name, p.pacing, p.halfBudget())
+	p.armTracer()
 }
 
 // Shutdown implements vm.Plan: parks and releases the persistent GC
@@ -135,6 +137,8 @@ func (p *SemiSpace) collect() {
 	from := p.half
 	to := 1 - p.half
 	p.half = to
+	ev := p.events
+	ph := time.Now()
 
 	// Reset mutator allocators onto the to-space.
 	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
@@ -144,15 +148,19 @@ func (p *SemiSpace) collect() {
 	})
 
 	marks := markBits(p.bt.Arena)
+	ev.Phase(trace.NameFlip, ph)
 
 	// Copy the transitive closure. Work items are tagged root indices
 	// or heap slot addresses of already-copied objects.
+	ph = time.Now()
 	rootSlots := p.vm.RootSlots(p.pool, nil)
 	items := make([]mem.Address, 0, len(rootSlots))
 	for i := range rootSlots {
 		items = append(items, mem.Address(i)|ssRootTag)
 	}
+	ev.PhaseArg(trace.NameRoots, ph, uint64(len(rootSlots)))
 
+	ph = time.Now()
 	p.pool.Drain(items,
 		func(w *gcwork.Worker) {
 			// NoBudget: copying must not fail while physical space
@@ -172,8 +180,10 @@ func (p *SemiSpace) collect() {
 			}
 		},
 		func(w *gcwork.Worker) { w.Scratch.(*immix.Allocator).Flush() })
+	ev.Phase(trace.NameCopy, ph)
 
 	// Free the entire from-space.
+	ph = time.Now()
 	p.bt.AllBlocks(func(idx int) {
 		if st := p.bt.State(idx); st == immix.StateFull || st == immix.StateReserved {
 			if p.bt.Kind(idx) == from {
@@ -182,6 +192,7 @@ func (p *SemiSpace) collect() {
 		}
 	})
 	p.sweepLargeUnmarked(marks)
+	ev.Phase(trace.NameFree, ph)
 }
 
 const ssRootTag mem.Address = 1 << 63

@@ -14,6 +14,7 @@ import (
 	"lxr/internal/obj"
 	"lxr/internal/policy"
 	"lxr/internal/satb"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -115,6 +116,7 @@ func (p *Shen) Boot(v *vm.VM) {
 		Collector:    p.name,
 		BudgetBlocks: p.bt.BudgetBlocks(),
 	})
+	p.armTracer()
 	p.ctl = p.newController(&shenCycles{p: p}, v, nil, 2*time.Millisecond)
 	p.ctl.Start()
 }
@@ -359,9 +361,11 @@ func (p *Shen) runCycle() {
 	if p.stop.Load() {
 		return
 	}
+	ev := p.events
 	// Init mark (pause): reset liveness, flag candidates, seed roots.
 	p.vm.RunCollection(nil, func() {
 		p.vm.StopTheWorld("init-mark", func() {
+			pt := time.Now()
 			p.marks.ClearAll()
 			p.bt.ClearLiveAll()
 			p.cands = p.cands[:0]
@@ -372,13 +376,16 @@ func (p *Shen) runCycle() {
 				}
 			})
 			p.tracer.Begin()
+			ev.PhaseArg(trace.NameMarkStart, pt, uint64(len(p.cands)))
 			// SATB drains are multi-producer safe; only the seed
 			// snapshot needs gathering (parallel over shards).
+			pt = time.Now()
 			p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 				ms := m.PlanState.(*shenMut)
 				p.satbIn.Append(ms.satbB.Take())
 			})
 			p.tracer.Seed(p.vm.SnapshotRootsParallel(p.pool, nil))
+			ev.Phase(trace.NameRoots, pt)
 			p.phase.Store(phMark)
 			p.pacer.ObserveCycleStart(policy.Signals{
 				HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),
@@ -395,6 +402,7 @@ func (p *Shen) runCycle() {
 	// quantum spans the whole cycle, so the governor is sampled here
 	// (Controller.Govern) and the width re-read at every advance —
 	// resizes genuinely take effect mid-cycle.
+	cm := time.Now()
 	for {
 		t0 := time.Now()
 		for _, s := range p.satbIn.TakeSegs() {
@@ -416,11 +424,13 @@ func (p *Shen) runCycle() {
 			return
 		}
 	}
+	ev.Span(trace.ShardConc, trace.NameConcMark, cm, time.Since(cm), 0, 0)
 
 	// Final mark (pause): seed the last captures, finish the closure,
 	// select the collection set.
 	p.vm.RunCollection(nil, func() {
 		p.vm.StopTheWorld("final-mark", func() {
+			pt := time.Now()
 			p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 				ms := m.PlanState.(*shenMut)
 				p.satbIn.Append(ms.satbB.Take())
@@ -432,8 +442,12 @@ func (p *Shen) runCycle() {
 			for _, s := range p.satbIn.TakeSegs() {
 				p.tracer.Seed(refsOf(s))
 			}
+			ev.Phase(trace.NameFlush, pt)
+			pt = time.Now()
 			p.tracer.DrainParallel(p.pool)
 			p.tracer.Finish()
+			ev.Phase(trace.NameFinalMark, pt)
+			pt = time.Now()
 			p.cset = p.cset[:0]
 			limit := mem.BlockSize / 2
 			if p.bt.FreeBlocks() < p.bt.BudgetBlocks()/10 {
@@ -448,12 +462,14 @@ func (p *Shen) runCycle() {
 				}
 			}
 			p.sweepLargeUnmarked(p.marks)
+			ev.PhaseArg(trace.NameSweep, pt, uint64(len(p.cset)))
 			p.phase.Store(phEvac)
 		})
 		p.recordPauseWorkerItems("final-mark")
 	})
 
 	// Concurrent evacuation: copy every marked object in the cset.
+	et := time.Now()
 	evacAl := &immix.Allocator{BT: p.bt}
 	aborted := map[int]bool{}
 	for _, idx := range p.cset {
@@ -481,11 +497,13 @@ func (p *Shen) runCycle() {
 		}
 	}
 	evacAl.Flush()
+	ev.Span(trace.ShardConc, trace.NameEvac, et, time.Since(et), uint64(len(p.cset)), 0)
 	p.phase.Store(phUpdate)
 	_ = aborted
 
 	// Concurrent update-references: linear heap walk fixing stale
 	// references (blocks are bump-allocated, so objects are contiguous).
+	ut := time.Now()
 	p.bt.AllBlocks(func(idx int) {
 		st := p.bt.State(idx)
 		if st != immix.StateFull && st != immix.StateReserved {
@@ -500,11 +518,15 @@ func (p *Shen) runCycle() {
 		p.vm.Stats.AddConcurrentWork(time.Since(t0))
 	})
 	p.bt.LOS().Each(func(a mem.Address) { p.updateObjectRefs(a) })
+	ev.Span(trace.ShardConc, trace.NameUpdateRefs, ut, time.Since(ut), 0, 0)
 
 	// Final update (pause): fix roots, release the cset.
 	p.vm.RunCollection(nil, func() {
 		dur := p.vm.StopTheWorld("final-update", func() {
+			pt := time.Now()
 			p.vm.FixRootsParallel(p.pool, func(r obj.Ref) obj.Ref { return p.om.Resolve(r) })
+			ev.Phase(trace.NameResolve, pt)
+			pt = time.Now()
 			// Mutator bump spans may hold stale refs written before the
 			// update pass visited them; their blocks were flushed at
 			// final-mark, and everything allocated since contains only
@@ -516,6 +538,7 @@ func (p *Shen) runCycle() {
 				}
 			}
 			p.cset = p.cset[:0]
+			ev.Phase(trace.NameFree, pt)
 			p.phase.Store(phIdle)
 			p.pacer.ObserveCycleEnd(policy.Signals{
 				HeapBlocks:   p.bt.InUseBlocks() + p.bt.LOS().BlocksInUse(),

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"lxr/internal/gcwork"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -103,6 +104,11 @@ type Config struct {
 	// work condition is a heap-occupancy threshold no event announces
 	// (Shenandoah's cycle trigger).
 	Poll time.Duration
+	// Trace, when non-nil, receives one span per work quantum on the
+	// concurrent timeline shard (quanta can contain pauses — Shenandoah
+	// runs whole cycles per quantum — which live on the GC shard, so
+	// the timelines stay independently well-nested).
+	Trace *trace.Tracer
 }
 
 // Signals supplies the cumulative inputs the governor differences into
@@ -305,11 +311,15 @@ func (c *Controller) run() {
 		c.mu.Unlock()
 
 		t0 := time.Now()
+		w := c.Width()
 		if !c.guardedQuantum() {
 			return
 		}
 		if c.cfg.Stats != nil {
 			c.cfg.Stats.AddConcurrentWork(time.Since(t0))
+		}
+		if tr := c.cfg.Trace; tr != nil {
+			tr.Span(trace.ShardConc, trace.NameQuantum, t0, time.Since(t0), uint64(w), 0)
 		}
 		c.govern()
 	}

@@ -7,6 +7,7 @@ import (
 	"lxr/internal/immix"
 	"lxr/internal/obj"
 	"lxr/internal/policy"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -22,6 +23,11 @@ const allocPublishBytes = 16 << 10
 // a racing logger before yielding the processor: a preempted winner
 // must not stall the store indefinitely.
 const logSpinBudget = 64
+
+// barrierSampleMask samples every 64th barrier slow path per mutator
+// into the event tracer — enough instants to see barrier storms on the
+// timeline without recording every field's first store.
+const barrierSampleMask = 63
 
 // Alloc implements vm.Plan. The common case is a thread-local Immix
 // bump allocation whose bookkeeping is entirely mutator-local: bump
@@ -120,6 +126,9 @@ func (p *LXR) logField(ms *mutState, slot obj.Ref) {
 				ms.modBuf.Push(slot)
 				p.logs.FinishLog(slot)
 				ms.slowOps++
+				if tr := p.events; tr != nil && ms.slowOps&barrierSampleMask == 0 {
+					tr.Instant(ms.shard, trace.NameBarrierSlow, uint64(ms.slowOps), 0)
+				}
 				return
 			}
 		default:
@@ -180,6 +189,10 @@ func (p *LXR) publishCounters(ms *mutState) {
 	ms.largeSince = 0
 	if v != 0 {
 		p.allocSince.Add(v)
+		if tr := p.events; tr != nil {
+			// Already rate-limited to the 16 KB publish grain.
+			tr.Instant(ms.shard, trace.NameAllocPublish, uint64(v), 0)
+		}
 	}
 	if d := ms.slowOps - ms.slowPub; d != 0 {
 		ms.slowPub = ms.slowOps

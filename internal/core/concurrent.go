@@ -70,6 +70,7 @@ func (c *concurrent) start() {
 		Stats:   c.p.vm.Stats,
 		Width:   c.p.cfg.ConcWorkers,
 		Signals: c.p.vm,
+		Trace:   c.p.events,
 	}
 	if c.p.cfg.AdaptiveConc {
 		cfg.Governor = conctrl.NewCollectorGovernor(c.p.pool.N, c.p.cfg.ConcWorkers, c.p.cfg.MMUFloor)

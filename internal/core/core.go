@@ -25,6 +25,7 @@ import (
 	"lxr/internal/policy"
 	"lxr/internal/remset"
 	"lxr/internal/satb"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -115,6 +116,12 @@ type Config struct {
 	// This is a robustness bound: traces normally complete on the
 	// concurrent thread well before it.
 	MaxTraceEpochs int
+
+	// Tracer, when non-nil, attaches the GC event tracer: pause-phase
+	// spans, loan spans, pacing-trigger instants and sampled barrier
+	// instants are recorded into its rings. nil (the default) leaves
+	// every instrumentation site as a single predictable branch.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -179,6 +186,9 @@ type LXR struct {
 	tracer   *satb.Tracer
 	pool     *gcwork.Pool
 	vm       *vm.VM
+	// events is the GC event tracer (nil = tracing off; every use is
+	// one nil-check branch). The SATB tracer above is unrelated.
+	events *trace.Tracer
 
 	// pacer owns every start decision: the RC pause trigger polled at
 	// safepoints and the SATB cycle votes evaluated at pause end
@@ -301,6 +311,11 @@ func New(cfg Config) *LXR {
 		CleanBlockThreshold:    cfg.CleanBlockThreshold,
 		WastageFraction:        cfg.WastageThreshold,
 	})
+	if cfg.Tracer != nil {
+		p.events = cfg.Tracer
+		p.pool.SetTracer(cfg.Tracer)
+		policy.SetTriggerHook(p.pacer, cfg.Tracer.TriggerHook())
+	}
 	p.installBlockTrace()
 	p.conc = newConcurrent(p)
 	return p
@@ -397,6 +412,7 @@ type mutState struct {
 	allocObjs  int64 // objects allocated since the last pause (telemetry)
 	slowOps    int64 // barrier slow paths since the last pause
 	slowPub    int64 // portion of slowOps already published to logsSince
+	shard      int   // event-tracer instant lane (from the mutator ID)
 }
 
 // LXR caches "stores may need remembered-set recording" — satbActive
@@ -421,7 +437,7 @@ func (l lineMap) FreeLineBits(firstLine int, bits *[mem.LinesPerBlock / 32]uint3
 
 // BindMutator implements vm.Plan.
 func (p *LXR) BindMutator(m *vm.Mutator) {
-	ms := &mutState{lxr: p}
+	ms := &mutState{lxr: p, shard: trace.MutShard(uint64(m.ID))}
 	ms.alloc = immix.Allocator{
 		BT:          p.bt,
 		Lines:       lineMap{p.rc},

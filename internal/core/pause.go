@@ -10,6 +10,7 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/obj"
 	"lxr/internal/policy"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -77,7 +78,9 @@ func (p *LXR) collectRC(cause string) {
 func (p *LXR) pausePipeline(cause string) string {
 	hadDec, hadMark := false, false
 	st := p.vm.Stats
+	ev := p.events // nil when tracing is off; Phase is a no-op then
 	st.Add(CtrPauses, 1)
+	ph := time.Now()
 
 	// 1. Flush mutator state: thread-local allocators (their bump spans
 	// may be reclaimed below), barrier buffers, and the per-mutator
@@ -113,6 +116,7 @@ func (p *LXR) pausePipeline(cause string) string {
 	st.Add(CtrAllocBytes, allocVol)
 	st.Add(CtrAllocObjects, allocObjs)
 	st.Add(CtrBarrierSlow, slowOps)
+	ev.PhaseArg(trace.NameFlush, ph, uint64(len(decSeeds)))
 
 	// 2. Finish unfinished lazy decrements first (§3.2.1): if the
 	// previous epoch's decrements have not drained, the pause completes
@@ -123,8 +127,10 @@ func (p *LXR) pausePipeline(cause string) string {
 	if p.conc.hasPendingDecs() {
 		st.Add(CtrPausesLazy, 1)
 		hadDec = true
+		ph = time.Now()
 		intr, segs, touched := p.conc.takePending()
 		p.processDecWork(intr, segs, touched)
+		ev.Phase(trace.NameDecs, ph)
 	}
 
 	// 3. SATB seeding and (maybe) completion. decSeeds are the
@@ -135,6 +141,7 @@ func (p *LXR) pausePipeline(cause string) string {
 	// parallel final mark.
 	traceComplete := false
 	if p.satbActive.Load() {
+		ph = time.Now()
 		p.traceEpochs++
 		wasIdle := !p.tracer.Pending()
 		p.tracer.Seed(decSeeds)
@@ -143,6 +150,7 @@ func (p *LXR) pausePipeline(cause string) string {
 			p.tracer.DrainParallel(p.pool)
 			traceComplete = true
 		}
+		ev.Phase(trace.NameSATBSeed, ph)
 	}
 
 	// 4. Increments: roots (deferral) and modified fields (coalescing),
@@ -151,6 +159,7 @@ func (p *LXR) pausePipeline(cause string) string {
 	p.survived.Store(0)
 	p.copiedY.Store(0)
 	p.promoted.Store(0)
+	ph = time.Now()
 	p.collectRootSlots()
 	if len(p.rootSlots) > 0 {
 		rootItems := make([]mem.Address, 0, len(p.rootSlots))
@@ -160,6 +169,7 @@ func (p *LXR) pausePipeline(cause string) string {
 		modSegs = append(modSegs, rootItems)
 	}
 	p.drainIncrements(modSegs)
+	ev.PhaseArg(trace.NameIncrements, ph, uint64(len(modSegs)))
 
 	// 4b. The SATB inbox may hold snapshot edges captured before this
 	// pause's young evacuations (decSeeds seeded in step 3, plus
@@ -170,18 +180,21 @@ func (p *LXR) pausePipeline(cause string) string {
 	// closure — the same hazard G1 fixes with ResolvePending after its
 	// evacuation pauses.
 	if p.satbActive.Load() {
+		ph = time.Now()
 		p.tracer.ResolvePending(func(r obj.Ref) obj.Ref {
 			if !p.plausibleRef(r) {
 				return r
 			}
 			return p.om.Resolve(r)
 		})
+		ev.Phase(trace.NameResolve, ph)
 	}
 
 	// 5. Deferred root decrements: last epoch's root referents receive
 	// decrements now; this epoch's roots are buffered for the next.
 	// decSeeds may be aliased by the tracer inbox (Seed is zero-copy),
 	// so the combined batch goes into a fresh slice.
+	ph = time.Now()
 	decs := make([]mem.Address, 0, len(decSeeds)+len(p.rootDecs))
 	decs = append(decs, decSeeds...)
 	decs = append(decs, p.rootDecs...)
@@ -206,27 +219,34 @@ func (p *LXR) pausePipeline(cause string) string {
 			decs[i] = mem.Address(p.om.Resolve(r))
 		}
 	}
+	ev.PhaseArg(trace.NameRootDecs, ph, uint64(len(decs)))
 
 	// 5b. Release the blocks the concurrent thread's completed
 	// decrement batches freed (and evacuation sources whose forwarding
 	// pointers are no longer needed). Done here — not concurrently — so
 	// freed lines can never be reused before this pause's increments
 	// have protected every surviving young object.
+	ph = time.Now()
 	p.conc.releaseReclaimable()
+	ev.Phase(trace.NameReclaim, ph)
 
 	// 6. Young sweep: blocks allocated into this epoch. Blocks whose
 	// lines carry no reference counts are entirely dead young objects
 	// and are reclaimed immediately — before any decrement is processed
 	// (the implicitly-dead optimisation, §3.3.1).
+	ph = time.Now()
 	cleanYielded := p.sweepYoung()
 	p.sweepNewLarge()
+	ev.PhaseArg(trace.NameSweep, ph, uint64(cleanYielded))
 
 	// 7. SATB completion: reclaim unmarked matures, then defragment the
 	// evacuation sets using the remembered sets bootstrapped by the
 	// trace (§3.3.2).
 	if traceComplete {
 		hadMark = true
+		ph = time.Now()
 		p.finalizeSATB()
+		ev.Phase(trace.NameSATBFinal, ph)
 	}
 
 	// 8. Triggers: feed the epoch's signals to the pacer (survival
@@ -235,6 +255,7 @@ func (p *LXR) pausePipeline(cause string) string {
 	// epoch's allocation budget — then put the SATB cycle vote to it.
 	survived := p.survived.Load()
 	st.Add(CtrSurvivedBytes, survived)
+	ph = time.Now()
 	es := policy.EpochStats{
 		AllocBytes:       allocVol,
 		SurvivedBytes:    survived,
@@ -264,10 +285,12 @@ func (p *LXR) pausePipeline(cause string) string {
 			p.finalizeSATB()
 		}
 	}
+	ev.Phase(trace.NamePacer, ph)
 
 	// 9. Hand decrements over: lazily to the concurrent thread, or — for
 	// the -LD ablation — processed right here (which makes every pause a
 	// decrement pause for attribution purposes).
+	ph = time.Now()
 	if p.cfg.NoLazyDecrements {
 		hadDec = true
 		p.processDecsInPause(decs)
@@ -275,6 +298,7 @@ func (p *LXR) pausePipeline(cause string) string {
 	} else {
 		p.conc.submitDecs(decs)
 	}
+	ev.Phase(trace.NameDecSubmit, ph)
 	// Refresh the mutators' cached barrier predicate: satbActive and the
 	// evacuation set only change inside pauses (startSATB/finalizeSATB
 	// above), so the per-mutator flag recomputed here is valid for the

@@ -31,7 +31,7 @@ const mallocSlack = 200
 func TestAllocFastPathIsGoAllocationFree(t *testing.T) {
 	for _, c := range Collectors {
 		t.Run(c, func(t *testing.T) {
-			p := newPlan(c, 256<<20)
+			p, _ := newPlan(c, 256<<20, false)
 			v := vm.New(p, 0)
 			defer v.Shutdown()
 			m := v.RegisterMutator(1)
@@ -57,7 +57,7 @@ func TestAllocFastPathIsGoAllocationFree(t *testing.T) {
 func TestStoreFastPathIsGoAllocationFree(t *testing.T) {
 	for _, c := range Collectors {
 		t.Run(c, func(t *testing.T) {
-			p := newPlan(c, 64<<20)
+			p, _ := newPlan(c, 64<<20, false)
 			v := vm.New(p, 0)
 			defer v.Shutdown()
 			m := v.RegisterMutator(1)

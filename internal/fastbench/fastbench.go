@@ -29,6 +29,7 @@ import (
 	"lxr/internal/mem"
 	"lxr/internal/meta"
 	"lxr/internal/obj"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 )
 
@@ -42,8 +43,15 @@ var Collectors = []string{"LXR", "Immix", "Immix+WB", "G1"}
 // Benches is the family, in report order. store/slow is only measurable
 // for collectors whose pauses re-arm logged fields (all three
 // barrier-bearing ones here); linescan is collector-independent and
-// reported once under the pseudo-collector "heap".
-var Benches = []string{"alloc/small", "alloc/medium", "alloc/large", "store/fast", "store/slow", "linescan"}
+// reported once under the pseudo-collector "heap". The "+trace" rows
+// re-measure LXR's allocation and pointer-store paths with the event
+// tracer armed (full-capacity rings, no consumer): the delta against
+// the matching untraced rows is the cost of live event recording, while
+// the untraced rows themselves — which carry the tracer's dormant nil
+// check — are what the CI compare gate holds at parity with the
+// pre-tracing baseline.
+var Benches = []string{"alloc/small", "alloc/medium", "alloc/large", "store/fast", "store/slow", "linescan",
+	"alloc/small+trace", "store/fast+trace"}
 
 // Options configures a family run.
 type Options struct {
@@ -100,28 +108,46 @@ func Run(o Options) Report {
 				r.Collector, r.Bench, r.MeanNS, r.MinNS, r.MaxNS, len(r.SamplesNS), r.Ops)
 		}
 	}
+	hasLXR := false
 	for _, c := range o.Collectors {
-		emit(runAlloc(o, c, "alloc/small", smallPayload))
-		emit(runAlloc(o, c, "alloc/medium", mediumPayload))
-		emit(runAlloc(o, c, "alloc/large", largePayload))
-		emit(runStoreFast(o, c))
+		if c == "LXR" {
+			hasLXR = true
+		}
+		emit(runAlloc(o, c, "alloc/small", smallPayload, false))
+		emit(runAlloc(o, c, "alloc/medium", mediumPayload, false))
+		emit(runAlloc(o, c, "alloc/large", largePayload, false))
+		emit(runStoreFast(o, c, false))
 		emit(runStoreSlow(o, c))
+	}
+	if hasLXR {
+		// Tracing-on variants use distinct bench names so the compare
+		// tool never pairs them with the untraced rows: the parity gate
+		// covers tracing-off, these rows track the armed cost.
+		emit(runAlloc(o, "LXR", "alloc/small+trace", smallPayload, true))
+		emit(runStoreFast(o, "LXR", true))
 	}
 	emit(runLineScan(o))
 	return rep
 }
 
-// newPlan builds a fresh plan instance for one benchmark.
-func newPlan(name string, heapBytes int) vm.Plan {
+// newPlan builds a fresh plan instance for one benchmark. traced arms
+// the event tracer (LXR only — the tracing-on variants) with a
+// full-capacity ring that is never drained, so recording proceeds at
+// its steady-state overwrite cost.
+func newPlan(name string, heapBytes int, traced bool) (vm.Plan, *trace.Tracer) {
+	var tr *trace.Tracer
+	if traced {
+		tr = trace.New(trace.Config{})
+	}
 	switch name {
 	case "LXR":
-		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: 2})
+		return core.New(core.Config{HeapBytes: heapBytes, GCThreads: 2, Tracer: tr}), tr
 	case "Immix":
-		return baselines.NewImmix(heapBytes, 2, false)
+		return baselines.NewImmix(heapBytes, 2, false), nil
 	case "Immix+WB":
-		return baselines.NewImmix(heapBytes, 2, true)
+		return baselines.NewImmix(heapBytes, 2, true), nil
 	case "G1":
-		return baselines.NewG1(heapBytes, 2)
+		return baselines.NewG1(heapBytes, 2), nil
 	}
 	panic("fastbench: unknown collector " + name)
 }
@@ -177,9 +203,10 @@ func sampleLoop(o Options, collector, bench string, ops int, between func(), loo
 	return summarize(collector, bench, ops, samples)
 }
 
-func runAlloc(o Options, collector, bench string, payload int) Result {
-	p := newPlan(collector, o.HeapBytes)
+func runAlloc(o Options, collector, bench string, payload int, traced bool) Result {
+	p, tr := newPlan(collector, o.HeapBytes, traced)
 	v := vm.New(p, 0)
+	v.SetTracer(tr)
 	defer v.Shutdown()
 	m := v.RegisterMutator(1)
 	defer m.Deregister()
@@ -203,18 +230,23 @@ func runAlloc(o Options, collector, bench string, payload int) Result {
 // (implicitly dead, §3.4), and with no collection running the state
 // never changes, so every store is the fast path — for LXR exactly one
 // metadata load.
-func runStoreFast(o Options, collector string) Result {
-	p := newPlan(collector, o.HeapBytes)
+func runStoreFast(o Options, collector string, traced bool) Result {
+	p, tr := newPlan(collector, o.HeapBytes, traced)
 	v := vm.New(p, 0)
+	v.SetTracer(tr)
 	defer v.Shutdown()
 	m := v.RegisterMutator(1)
 	defer m.Deregister()
 
+	bench := "store/fast"
+	if traced {
+		bench += "+trace"
+	}
 	const slots = 64
 	src := m.Alloc(0, slots, 0)
 	val := m.Alloc(0, 0, 16)
 	ops := 1 << 16
-	return sampleLoop(o, collector, "store/fast", ops,
+	return sampleLoop(o, collector, bench, ops,
 		nil, // no collections: the fields must stay Logged
 		func(ops int) {
 			for i := 0; i < ops; i++ {
@@ -229,7 +261,7 @@ func runStoreFast(o Options, collector string) Result {
 // the fields the barrier logged, so "store once to every armed field,
 // then force a pause" yields all-slow-path samples indefinitely.
 func runStoreSlow(o Options, collector string) Result {
-	p := newPlan(collector, o.HeapBytes)
+	p, _ := newPlan(collector, o.HeapBytes, false)
 	v := vm.New(p, 0)
 	defer v.Shutdown()
 

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"lxr/internal/mem"
+	"lxr/internal/trace"
 )
 
 // chunkSize is the work-stealing granularity: workers share work in
@@ -87,6 +88,11 @@ type Pool struct {
 
 	loans     atomic.Int64 // loans ever started (telemetry)
 	loanItems atomic.Int64 // items processed on loaned workers (telemetry)
+
+	// tracer, when non-nil, receives loan lend→reclaim spans and
+	// interrupt instants on the concurrent timeline shard. Set before
+	// the pool is first used.
+	tracer *trace.Tracer
 }
 
 // NewPool creates a pool with n workers (minimum 1). Workers are started
@@ -97,6 +103,11 @@ func NewPool(n int) *Pool {
 	}
 	return &Pool{N: n}
 }
+
+// SetTracer attaches a GC event tracer to the pool (nil detaches).
+// Call before the pool's first use — the field is read unsynchronised
+// on loan paths.
+func (p *Pool) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // Spawned returns how many worker goroutines this pool has ever created.
 // After any number of phases it stays at N — the persistence guarantee
@@ -664,6 +675,12 @@ type Loan struct {
 
 	reclaimed bool
 	noop      bool
+
+	// Tracing state: lend time and the pool's loan-item total at lend,
+	// so Reclaim can attribute exactly this loan's items (loans are
+	// serialised by runMu, so the delta is never mixed across loans).
+	traceStart time.Time
+	traceItem0 int64
 	// rem is the unprocessed remainder: seeded at Lend for no-op loans
 	// (stopped pool), harvested by Reclaim otherwise. It is retained on
 	// the loan so an interrupted loan's work can be resumed — across
@@ -703,6 +720,10 @@ func (p *Pool) Lend(n int, segs [][]mem.Address, setup func(w *Worker), f func(w
 	jb := &job{setup: setup, f: f, teardown: teardown, wg: &wg}
 	l := &Loan{p: p, jb: jb, Workers: n}
 	jb.loan = l
+	if p.tracer != nil {
+		l.traceStart = time.Now()
+		l.traceItem0 = p.loanItems.Load()
+	}
 	p.dispatch(jb, n, segs)
 	p.loans.Add(1)
 	return l
@@ -714,8 +735,13 @@ func (p *Pool) Lend(n int, segs [][]mem.Address, setup func(w *Worker), f func(w
 // pause that wants the pool calls it before waiting on the concurrent
 // driver's quiescence.
 func (l *Loan) Interrupt() {
-	if !l.noop {
-		l.jb.intr.Store(true)
+	if l.noop {
+		return
+	}
+	if l.jb.intr.CompareAndSwap(false, true) {
+		if tr := l.p.tracer; tr != nil {
+			tr.Instant(trace.ShardConc, trace.NameInterrupt, uint64(l.Workers), 0)
+		}
 	}
 }
 
@@ -794,6 +820,12 @@ func (l *Loan) Reclaim() [][]mem.Address {
 	l.reclaimed = true
 	l.jb.wg.Wait()
 	l.rem = l.p.scavenge()
+	if tr := l.p.tracer; tr != nil {
+		// Recorded before the pool is released so loan spans on the
+		// concurrent timeline never overlap the next loan's span.
+		tr.Span(trace.ShardConc, trace.NameLoan, l.traceStart, time.Since(l.traceStart),
+			uint64(l.Workers), uint64(l.p.loanItems.Load()-l.traceItem0))
+	}
 	l.p.runMu.Unlock()
 	if v, stack := l.jb.takePanic(); v != nil {
 		panic(&WorkerPanic{Value: v, Stack: stack})

@@ -37,6 +37,14 @@ type IntervalReport struct {
 	// heap-shape changes, a collector falling behind — without the JSON
 	// bloat of adaptively resized windows.
 	Drift bool `json:"drift,omitempty"`
+
+	// StartUnixNS/EndUnixNS are the window's absolute wall-clock bounds
+	// (Unix nanoseconds), recorded only on drift windows so the window
+	// can be cross-referenced against a flight-recorder dump's event
+	// timestamps (the dump's otherData.epoch_unix_ns plus an event's ts
+	// places it inside or outside this window).
+	StartUnixNS int64 `json:"start_unix_ns,omitempty"`
+	EndUnixNS   int64 `json:"end_unix_ns,omitempty"`
 }
 
 // driftWindows is how many preceding windows the trailing mean covers.
@@ -91,6 +99,12 @@ type intervalReporter struct {
 
 	prevPause *telemetry.Histogram
 	prevLat   *telemetry.Histogram
+	prevEnd   time.Duration // previous window's end offset
+
+	// onDrift, when non-nil, fires (on the reporter goroutine, outside
+	// the lock) for every window flagged drift:true — the flight
+	// recorder's dump trigger.
+	onDrift func(IntervalReport)
 
 	pauseDrift driftTracker
 	latDrift   driftTracker
@@ -105,16 +119,17 @@ type intervalReporter struct {
 // startIntervalReporter launches the reporter; call stopAndCollect when
 // the run ends to stop it and obtain the reports (a final partial
 // window is emitted for whatever the last full tick missed).
-func startIntervalReporter(every time.Duration, stats *vm.Stats, lat *telemetry.Recorder, out io.Writer, label string) *intervalReporter {
+func startIntervalReporter(every time.Duration, stats *vm.Stats, lat *telemetry.Recorder, out io.Writer, label string, onDrift func(IntervalReport)) *intervalReporter {
 	r := &intervalReporter{
-		every: every,
-		stats: stats,
-		lat:   lat,
-		out:   out,
-		label: label,
-		start: time.Now(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		every:   every,
+		stats:   stats,
+		lat:     lat,
+		out:     out,
+		label:   label,
+		start:   time.Now(),
+		onDrift: onDrift,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go r.run()
 	return r
@@ -186,8 +201,17 @@ func (r *intervalReporter) observe() {
 			rep.Drift = true
 		}
 	}
+	if rep.Drift {
+		// Absolute bounds let a flight dump be matched to this window.
+		rep.StartUnixNS = r.start.Add(r.prevEnd).UnixNano()
+		rep.EndUnixNS = r.start.Add(end).UnixNano()
+	}
+	r.prevEnd = end
 	r.reports = append(r.reports, rep)
 	r.mu.Unlock()
+	if rep.Drift && r.onDrift != nil {
+		r.onDrift(rep)
+	}
 
 	if r.out != nil {
 		line := fmt.Sprintf("  [%s interval %d @%.0fms] pauses=%d", r.label, rep.Index, rep.EndMS, rep.Pauses)

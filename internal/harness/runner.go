@@ -16,6 +16,7 @@ import (
 	"lxr/internal/gcwork"
 	"lxr/internal/policy"
 	"lxr/internal/telemetry"
+	"lxr/internal/trace"
 	"lxr/internal/vm"
 	"lxr/internal/workload"
 )
@@ -70,14 +71,16 @@ func NewPlanOpts(id string, heapBytes int, opts Options) vm.Plan {
 		c.HeapBytes, c.GCThreads, c.ConcWorkers = heapBytes, gcThreads, concWorkers
 		c.AdaptiveConc, c.MMUFloor = opts.Adaptive, opts.MMUFloor
 		c.AdaptivePacing = opts.PacingAdaptive
+		c.Tracer = opts.tracer
 		return core.New(c)
 	}
 	// setup applies the session options every baseline plan shares:
-	// pacing mode, borrow width, adaptive loan governor.
+	// pacing mode, borrow width, adaptive loan governor, event tracer.
 	setup := func(p interface {
 		SetConcWorkers(int)
 		SetAdaptive(float64)
 		SetPacing(policy.Mode)
+		SetTracer(*trace.Tracer)
 	}) {
 		p.SetPacing(pacing)
 		if concWorkers > 0 {
@@ -85,6 +88,9 @@ func NewPlanOpts(id string, heapBytes int, opts Options) vm.Plan {
 		}
 		if opts.Adaptive {
 			p.SetAdaptive(opts.MMUFloor)
+		}
+		if opts.tracer != nil {
+			p.SetTracer(opts.tracer)
 		}
 	}
 	switch id {
@@ -170,6 +176,30 @@ type Options struct {
 	// Record, when non-nil, observes every completed RunOne execution
 	// (cmd/lxr-bench -json collects RunSummary digests through it).
 	Record func(*RunResult)
+	// Trace, when non-nil, attaches the structured GC event tracer
+	// (internal/trace) to every RunOne execution.
+	Trace *TraceOptions
+
+	// tracer is the per-run tracer instance RunOne threads through
+	// NewPlanOpts into the plan; never set by callers.
+	tracer *trace.Tracer
+}
+
+// TraceOptions configure the GC event tracer for a run.
+type TraceOptions struct {
+	// Flight, when positive, selects flight-recorder mode: each shard
+	// ring retains only the trailing Flight events (overwrite-oldest),
+	// and Dump fires when an interval window flags drift or the run
+	// fails — at most once per run. 0 selects full-run capture, where
+	// Dump fires once at the end of every run.
+	Flight int
+	// Cap overrides the per-shard ring capacity for full-run capture
+	// (0 = trace.DefaultShardCap; rounded up to a power of two).
+	Cap int
+	// Dump receives the run's tracer at the dump point. label is
+	// "bench/collector"; reason is "end", "failed", or
+	// "drift:window-N". Required: a nil Dump disables tracing.
+	Dump func(label, reason string, tr *trace.Tracer)
 }
 
 // WithDefaults fills zero fields.
@@ -310,12 +340,35 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	if opts.Record != nil {
 		defer func() { opts.Record(res) }()
 	}
+	label := fmt.Sprintf("%s/%s", spec.Name, collector)
+	var dump func(reason string)
+	if opts.Trace != nil && opts.Trace.Dump != nil {
+		cap := opts.Trace.Cap
+		if opts.Trace.Flight > 0 {
+			cap = opts.Trace.Flight
+		}
+		tr := trace.New(trace.Config{ShardCap: cap, Flight: opts.Trace.Flight > 0})
+		opts.tracer = tr
+		// At most one dump per run: a drift dump wins over the failure
+		// dump, which wins over nothing (flight mode never dumps a
+		// healthy run).
+		var once sync.Once
+		dump = func(reason string) {
+			once.Do(func() { opts.Trace.Dump(label, reason, tr) })
+		}
+	}
 	plan := NewPlanOpts(collector, heap, opts)
 	if plan == nil {
 		return res
 	}
 	v := vm.New(plan, 8)
-	defer v.Shutdown() // idempotent; the explicit call below is first
+	v.SetTracer(opts.tracer) // before the first mutator registers
+	defer v.Shutdown()       // idempotent; the explicit call below is first
+	onDrift := func(rep IntervalReport) {
+		if dump != nil && opts.Trace.Flight > 0 {
+			dump(fmt.Sprintf("drift:window-%d", rep.Index))
+		}
+	}
 	failed := false
 	// runStart must be the same epoch Wall is measured from, or the MMU
 	// computation would mis-place pauses inside [0, Wall]; the workload
@@ -325,8 +378,7 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 		rec := workload.NewLatencyRecorder(sz)
 		var rep *intervalReporter
 		if opts.Interval > 0 {
-			rep = startIntervalReporter(opts.Interval, v.Stats, rec, opts.Out,
-				fmt.Sprintf("%s/%s", spec.Name, collector))
+			rep = startIntervalReporter(opts.Interval, v.Stats, rec, opts.Out, label, onDrift)
 		}
 		rr := workload.RunRequestsRec(v, sz, rate, rec)
 		if rep != nil {
@@ -340,8 +392,7 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 	} else {
 		var rep *intervalReporter
 		if opts.Interval > 0 {
-			rep = startIntervalReporter(opts.Interval, v.Stats, nil, opts.Out,
-				fmt.Sprintf("%s/%s", spec.Name, collector))
+			rep = startIntervalReporter(opts.Interval, v.Stats, nil, opts.Out, label, onDrift)
 		}
 		br := workload.RunBatch(v, sz)
 		if rep != nil {
@@ -369,6 +420,14 @@ func RunOne(spec workload.Spec, collector string, heapFactor float64, rate float
 		res.Loans, res.LoanItems = t.GCLoanStats()
 		res.Governor = t.GovernorTrace()
 		res.Pacing = t.PacingTrace()
+	}
+	if dump != nil {
+		// All collector goroutines are down: the drain is quiescent.
+		if failed {
+			dump("failed")
+		} else if opts.Trace.Flight == 0 {
+			dump("end")
+		}
 	}
 	return res
 }

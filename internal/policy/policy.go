@@ -211,7 +211,30 @@ type recorder struct {
 	decisions   []Decision
 	adjustments []Adjustment
 	thresholds  map[string]float64
+
+	// hook, when non-nil, observes every fired trigger before the
+	// archive's dedup/caps — the GC event tracer's instant feed. It is
+	// called on trigger paths that must never block (see fire), so
+	// implementations must be wait-free; set before concurrent use.
+	hook func(kind string, signal, threshold float64)
 }
+
+// SetTriggerHook installs a wait-free observer of every fired trigger
+// on a built-in pacer (all of them embed the decision recorder). The
+// hook runs on trigger paths that may hold the conctrl controller lock,
+// so it must not take locks anything else holds while waiting on the
+// controller. Returns false if p is not hook-capable.
+func SetTriggerHook(p Pacer, f func(kind string, signal, threshold float64)) bool {
+	h, ok := p.(interface {
+		setTriggerHook(func(kind string, signal, threshold float64))
+	})
+	if ok {
+		h.setTriggerHook(f)
+	}
+	return ok
+}
+
+func (r *recorder) setTriggerHook(f func(kind string, signal, threshold float64)) { r.hook = f }
 
 func (r *recorder) init(collector string, mode Mode) {
 	r.collector = collector
@@ -232,6 +255,9 @@ func (r *recorder) sinceMS() float64 {
 // exact: decisions + repeats + dropped = fired.
 func (r *recorder) fire(kind string, signal, threshold float64, s Signals) {
 	r.fired.Add(1)
+	if r.hook != nil {
+		r.hook(kind, signal, threshold)
+	}
 	at := r.sinceMS()
 	if !r.mu.TryLock() {
 		r.contended.Add(1)

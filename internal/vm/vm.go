@@ -18,6 +18,7 @@ import (
 
 	"lxr/internal/mem"
 	"lxr/internal/obj"
+	"lxr/internal/trace"
 )
 
 // The simulated runtime models a multicore machine (the paper evaluates
@@ -127,8 +128,20 @@ type VM struct {
 	gcLock  sync.Mutex // serialises collections
 	gcEpoch atomic.Uint64
 
+	// tracer, when non-nil, receives rendezvous and pause spans on the
+	// GC timeline shard. Attach with SetTracer before mutators start.
+	tracer *trace.Tracer
+
 	shutdown atomic.Bool
 }
+
+// SetTracer attaches a GC event tracer (nil detaches). Call before the
+// first mutator registers — the field is read without synchronisation
+// on pause paths.
+func (v *VM) SetTracer(t *trace.Tracer) { v.tracer = t }
+
+// Tracer returns the attached event tracer (nil when tracing is off).
+func (v *VM) Tracer() *trace.Tracer { return v.tracer }
 
 // New creates a VM around a plan and boots it.
 func New(p Plan, globalRoots int) *VM {
@@ -238,12 +251,24 @@ func (v *VM) StopTheWorldTagged(kind string, f func() string) time.Duration {
 	}()
 
 	start := time.Now()
+	if tr := v.tracer; tr != nil {
+		// The rendezvous span covers stop-request → world-stopped, so a
+		// TTSP outlier is attributable to the pause that paid it.
+		tr.Span(trace.ShardGC, trace.NameRendezvous, reqStart, start.Sub(reqStart),
+			uint64(v.MutatorCount()), 0)
+	}
 	if refined := f(); refined != "" {
 		kind = refined
 	}
 	dur := time.Since(start)
 
 	v.Stats.RecordPause(kind, start, dur, start.Sub(reqStart))
+	if tr := v.tracer; tr != nil {
+		// Recorded after f so the span carries the refined kind; phase
+		// spans recorded inside f nest within it by construction.
+		tr.Span(trace.ShardGC, tr.Intern("pause:"+kind), start, dur,
+			uint64(start.Sub(reqStart)), 0)
+	}
 	return dur
 }
 
