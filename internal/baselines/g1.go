@@ -360,7 +360,7 @@ func (p *G1) collect() string {
 	}
 
 	evacMarks := p.evacMarks // scan-once guard for this pause
-	evacMarks.ClearAll()
+	clearBitsParallel(p.pool, evacMarks)
 	ph = time.Now()
 	p.pool.Drain(items,
 		func(w *gcwork.Worker) {
@@ -567,9 +567,9 @@ func (p *G1) clearSelfForwards(idx int) {
 // barrier build their remembered sets, and the tracer is seeded with the
 // roots.
 func (p *G1) startMark(rootSlots []*obj.Ref) {
-	p.marks.ClearAll()
-	p.bt.ClearLiveAll()
-	p.reuse.ResetAll()
+	clearBitsParallel(p.pool, p.marks)
+	clearLiveParallel(p.pool, p.bt)
+	resetCountersParallel(p.pool, p.reuse)
 	// Candidates: old regions (full) — their liveness will be measured
 	// by this mark; those under 50% at mark end form the cset.
 	count := 0

@@ -192,8 +192,7 @@ func (p *Immix) collectLocked() {
 func (p *Immix) collect() {
 	ev := p.events
 	ph := time.Now()
-	p.marks.ClearAll()
-	p.lineMarks.ClearAll()
+	clearBitsParallel(p.pool, p.marks, p.lineMarks)
 	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
 		ms := m.PlanState.(*immixMut)
 		ms.alloc.Flush()
@@ -227,26 +226,27 @@ func (p *Immix) collect() {
 		if st := p.bt.State(idx); st == immix.StateLargeHead || st == immix.StateLargeBody || st == immix.StateUntracked {
 			return immix.ClassFull
 		}
-		base := idx * mem.LinesPerBlock
-		used, free := 0, 0
-		for l := base; l < base+mem.LinesPerBlock; l++ {
-			if p.lineMarks.Get(mem.LineStart(l)) {
-				used++
-			} else {
-				free++
-			}
+		// The line-mark table keeps one bit per line, so a block's 128
+		// lines are exactly four words: accumulate them instead of 128
+		// per-line probes.
+		firstWord := idx * mem.LinesPerBlock / 32
+		var anyUsed, allUsed uint32 = 0, ^uint32(0)
+		for i := 0; i < mem.LinesPerBlock/32; i++ {
+			w := p.lineMarks.Word(firstWord + i)
+			anyUsed |= w
+			allUsed &= w
 		}
 		switch {
-		case used == 0:
+		case anyUsed == 0:
 			return immix.ClassFree
-		case free > 0:
+		case allUsed != ^uint32(0):
 			return immix.ClassPartial
 		default:
 			return immix.ClassFull
 		}
 	})
 	p.sweepLargeUnmarked(p.marks)
-	p.marks.ClearAll()
+	clearBitsParallel(p.pool, p.marks)
 	ev.Phase(trace.NameSweepRebuild, ph)
 }
 

@@ -1,0 +1,48 @@
+package baselines
+
+import (
+	"lxr/internal/gcwork"
+	"lxr/internal/immix"
+	"lxr/internal/meta"
+)
+
+// Parallel metadata clears. Every baseline pause starts by wiping mark
+// bits, live words, or reuse counters over the whole heap; at realistic
+// heap sizes those serial O(heap) walks are a measurable slice of the
+// pause, so they partition over the GC pool like the sweeps already do.
+
+// parClearThreshold gates full-table clears, in table entries: below it
+// the serial clear finishes in less time than a pool dispatch.
+const parClearThreshold = 1 << 14
+
+// clearBitsParallel clears whole bit tables across the pool's workers.
+func clearBitsParallel(pool *gcwork.Pool, tables ...*meta.BitTable) {
+	for _, t := range tables {
+		n := t.Words()
+		if pool == nil || n < parClearThreshold {
+			t.ClearAll()
+			continue
+		}
+		pool.ParallelFor(n, func(_, lo, hi int) { t.ClearWords(lo, hi) })
+	}
+}
+
+// clearLiveParallel zeroes every block's live word across the workers.
+func clearLiveParallel(pool *gcwork.Pool, bt *immix.BlockTable) {
+	n := bt.Arena.Blocks()
+	if pool == nil || n < parClearThreshold {
+		bt.ClearLiveAll()
+		return
+	}
+	pool.ParallelFor(n, func(_, lo, hi int) { bt.ClearLiveRange(lo, hi) })
+}
+
+// resetCountersParallel zeroes per-line counters across the workers.
+func resetCountersParallel(pool *gcwork.Pool, c *meta.LineCounters) {
+	n := c.Len()
+	if pool == nil || n < parClearThreshold {
+		c.ResetAll()
+		return
+	}
+	pool.ParallelFor(n, func(_, lo, hi int) { c.ResetRange(lo, hi) })
+}

@@ -366,8 +366,8 @@ func (p *Shen) runCycle() {
 	p.vm.RunCollection(nil, func() {
 		p.vm.StopTheWorld("init-mark", func() {
 			pt := time.Now()
-			p.marks.ClearAll()
-			p.bt.ClearLiveAll()
+			clearBitsParallel(p.pool, p.marks)
+			clearLiveParallel(p.pool, p.bt)
 			p.cands = p.cands[:0]
 			p.bt.AllBlocks(func(idx int) {
 				if p.bt.State(idx) == immix.StateFull {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,22 +93,29 @@ func (p *LXR) pausePipeline(cause string) string {
 	allocVol := p.allocSince.Swap(0)
 	allocObjs := p.allocObjects.Swap(0)
 	slowOps := p.barrierSlow.Swap(0)
-	var flushMu sync.Mutex
-	p.vm.EachMutatorParallel(p.pool, func(m *vm.Mutator) {
+	// Each rendezvous shard is walked by exactly one worker, so workers
+	// accumulate into per-shard partials with no lock at all; the single
+	// serial merge below replaces what used to be one mutex acquisition
+	// per mutator inside the pause.
+	var parts [vm.MutatorShards]flushPartial
+	p.vm.EachMutatorShardParallel(p.pool, func(s int, m *vm.Mutator) {
 		ms := m.PlanState.(*mutState)
 		ms.alloc.Flush()
-		vol := ms.alloc.HarvestSinceEpoch() + ms.largeSince
-		objs, slow := ms.allocObjs, ms.slowOps
+		pt := &parts[s]
+		pt.vol += ms.alloc.HarvestSinceEpoch() + ms.largeSince
+		pt.objs += ms.allocObjs
+		pt.slow += ms.slowOps
 		ms.largeSince, ms.allocObjs, ms.slowOps, ms.slowPub = 0, 0, 0, 0
-		segs := ms.modBuf.TakeSegs()
-		flushMu.Lock()
-		allocVol += vol
-		allocObjs += objs
-		slowOps += slow
-		decSeeds = ms.decBuf.TakeInto(decSeeds)
-		modSegs = append(modSegs, segs...)
-		flushMu.Unlock()
+		pt.decs = ms.decBuf.TakeInto(pt.decs)
+		pt.segs = append(pt.segs, ms.modBuf.TakeSegs()...)
 	})
+	for i := range parts {
+		allocVol += parts[i].vol
+		allocObjs += parts[i].objs
+		slowOps += parts[i].slow
+		decSeeds = append(decSeeds, parts[i].decs...)
+		modSegs = append(modSegs, parts[i].segs...)
+	}
 	decSeeds = append(decSeeds, p.conc.decs.Take()...)
 	modSegs = append(modSegs, p.conc.mods.TakeSegs()...)
 	p.logsSince.Store(0)
@@ -161,11 +167,13 @@ func (p *LXR) pausePipeline(cause string) string {
 	p.promoted.Store(0)
 	ph = time.Now()
 	p.collectRootSlots()
-	if len(p.rootSlots) > 0 {
-		rootItems := make([]mem.Address, 0, len(p.rootSlots))
-		for i := range p.rootSlots {
-			rootItems = append(rootItems, rootTag|mem.Address(i))
-		}
+	if n := len(p.rootSlots); n > 0 {
+		rootItems := make([]mem.Address, n)
+		p.parFor(n, parGatherThreshold, func(start, end int) {
+			for i := start; i < end; i++ {
+				rootItems[i] = rootTag | mem.Address(i)
+			}
+		})
 		modSegs = append(modSegs, rootItems)
 	}
 	p.drainIncrements(modSegs)
@@ -198,12 +206,7 @@ func (p *LXR) pausePipeline(cause string) string {
 	decs := make([]mem.Address, 0, len(decSeeds)+len(p.rootDecs))
 	decs = append(decs, decSeeds...)
 	decs = append(decs, p.rootDecs...)
-	p.rootDecs = p.rootDecs[:0]
-	for _, s := range p.rootSlots {
-		if !(*s).IsNil() {
-			p.rootDecs = append(p.rootDecs, *s)
-		}
-	}
+	p.rootDecs = p.gatherRootDecs(p.rootDecs[:0])
 
 	// 5a. Resolve the batch through forwarding NOW, while the pointers
 	// installed by this pause's young evacuations are still intact. The
@@ -213,12 +216,16 @@ func (p *LXR) pausePipeline(cause string) string {
 	// through clobbered memory and decrement whatever young object was
 	// allocated over it (mature evacuation quarantines its source
 	// blocks against exactly this; young evacuation relies on this
-	// pre-release resolution instead).
-	for i, a := range decs {
-		if r := obj.Ref(a); p.plausibleRef(r) {
-			decs[i] = mem.Address(p.om.Resolve(r))
+	// pre-release resolution instead). Items are independent, so the
+	// batch partitions over the pause workers; this was the last
+	// serial O(decrements) loop in the pause.
+	p.parFor(len(decs), parResolveThreshold, func(start, end int) {
+		for i, a := range decs[start:end] {
+			if r := obj.Ref(a); p.plausibleRef(r) {
+				decs[start+i] = mem.Address(p.om.Resolve(r))
+			}
 		}
-	}
+	})
 	ev.PhaseArg(trace.NameRootDecs, ph, uint64(len(decs)))
 
 	// 5b. Release the blocks the concurrent thread's completed
@@ -320,6 +327,73 @@ func (p *LXR) pausePipeline(cause string) string {
 		kind += "+mark"
 	}
 	return kind
+}
+
+// flushPartial is one rendezvous shard's share of the step-1 mutator
+// flush: volume counters plus the harvested decrement and modified-field
+// buffers, merged serially after the parallel walk.
+type flushPartial struct {
+	vol, objs, slow int64
+	decs            []mem.Address
+	segs            [][]mem.Address
+}
+
+// Serial-fallback thresholds for the pause's data-parallel loops. Waking
+// the worker pool costs a few microseconds, so small batches stay serial
+// (same reasoning as vm's parRootThreshold).
+const (
+	// parGatherThreshold gates the root-slot gathering loops.
+	parGatherThreshold = 256
+	// parResolveThreshold gates the decrement-batch resolve; resolve
+	// does real per-item work (forwarding-word loads), so it pays off
+	// at moderate batch sizes.
+	parResolveThreshold = 512
+	// parClearThreshold gates full-table clears (mark bits, live words,
+	// reuse counters), measured in table words: small tables finish
+	// serially in less time than a pool dispatch.
+	parClearThreshold = 1 << 14
+)
+
+// parFor runs f over [0, n) partitioned across the pause workers, or
+// serially when n is below the given threshold.
+func (p *LXR) parFor(n, threshold int, f func(start, end int)) {
+	if n == 0 {
+		return
+	}
+	if n < threshold || p.pool == nil {
+		f(0, n)
+		return
+	}
+	p.pool.ParallelFor(n, func(_, start, end int) { f(start, end) })
+}
+
+// gatherRootDecs appends the referent of every non-nil root slot to dst:
+// the deferred decrements owed when these roots are dropped at the next
+// epoch. Workers filter disjoint ranges into per-worker partials merged
+// once (order is immaterial — they are decrement targets).
+func (p *LXR) gatherRootDecs(dst []obj.Ref) []obj.Ref {
+	if len(p.rootSlots) < parGatherThreshold || p.pool == nil {
+		for _, s := range p.rootSlots {
+			if !(*s).IsNil() {
+				dst = append(dst, *s)
+			}
+		}
+		return dst
+	}
+	outs := make([][]obj.Ref, p.pool.N)
+	p.pool.ParallelFor(len(p.rootSlots), func(w, start, end int) {
+		out := outs[w]
+		for _, s := range p.rootSlots[start:end] {
+			if !(*s).IsNil() {
+				out = append(out, *s)
+			}
+		}
+		outs[w] = out
+	})
+	for _, out := range outs {
+		dst = append(dst, out...)
+	}
+	return dst
 }
 
 // testPauseHook, when non-nil, runs at the end of every pause with the
@@ -577,21 +651,16 @@ const (
 	blockFullLive
 )
 
-// classifyBlock inspects a block's RC-table line words.
+// classifyBlock inspects a block's RC-table line words. Classification
+// needs only "any line free / any line used", so the scan runs word-at-
+// a-time over the RC table with early exit (meta.RCTable.LineSummary)
+// instead of 128 per-line interface probes per block.
 func (p *LXR) classifyBlock(idx int) blockClass {
-	base := idx * mem.LinesPerBlock
-	free, used := 0, 0
-	for l := base; l < base+mem.LinesPerBlock; l++ {
-		if p.rc.LineFree(l) {
-			free++
-		} else {
-			used++
-		}
-	}
+	anyFree, anyUsed := p.rc.LineSummary(idx*mem.LinesPerBlock, mem.LinesPerBlock)
 	switch {
-	case used == 0:
+	case !anyUsed:
 		return blockEmpty
-	case free > 0:
+	case anyFree:
 		return blockPartial
 	default:
 		return blockFullLive

@@ -20,14 +20,9 @@ func (p *LXR) startSATB() {
 	if p.cfg.matureEvacOn() {
 		p.selectEvacSets()
 	}
-	p.reuse.ResetAll()
+	p.parFor(p.reuse.Len(), parClearThreshold, p.reuse.ResetRange)
 	p.tracer.Begin()
-	seeds := make([]obj.Ref, 0, len(p.rootSlots))
-	for _, s := range p.rootSlots {
-		if !(*s).IsNil() {
-			seeds = append(seeds, *s)
-		}
-	}
+	seeds := p.gatherRootDecs(make([]obj.Ref, 0, len(p.rootSlots)))
 	p.tracer.Seed(seeds)
 	p.traceEpochs = 0
 	p.satbActive.Store(true)
@@ -39,19 +34,30 @@ func (p *LXR) startSATB() {
 
 // selectEvacSets flags defragmentation targets: full blocks whose
 // RC-table occupancy upper bound is below DefragOccupancy, sorted from
-// the lowest occupancy, capped at DefragMaxBlocks.
+// the lowest occupancy, capped at DefragMaxBlocks. The occupancy scan
+// reads 128 RC words per block, so candidates are gathered in parallel
+// (per-worker partials, merged before the sort).
 func (p *LXR) selectEvacSets() {
 	type cand struct{ idx, live int }
 	limit := int(p.cfg.DefragOccupancy * mem.GranulesPerBlock)
 	var cands []cand
-	p.bt.AllBlocks(func(idx int) {
-		if p.bt.State(idx) != immix.StateFull || p.bt.HasFlag(idx, immix.FlagEvacuating) {
-			return
+	outs := make([][]cand, p.pool.N)
+	p.pool.ParallelFor(p.bt.Blocks(), func(w, start, end int) {
+		out := outs[w]
+		for i := start; i < end; i++ {
+			idx := i + 1 // main blocks are 1-based
+			if p.bt.State(idx) != immix.StateFull || p.bt.HasFlag(idx, immix.FlagEvacuating) {
+				continue
+			}
+			if live := p.rc.BlockLiveGranules(idx); live < limit {
+				out = append(out, cand{idx, live})
+			}
 		}
-		if live := p.rc.BlockLiveGranules(idx); live < limit {
-			cands = append(cands, cand{idx, live})
-		}
+		outs[w] = out
 	})
+	for _, out := range outs {
+		cands = append(cands, out...)
+	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
 	if len(cands) > p.cfg.DefragMaxBlocks {
 		cands = cands[:p.cfg.DefragMaxBlocks]
@@ -72,7 +78,7 @@ func (p *LXR) finalizeSATB() {
 	if p.cfg.matureEvacOn() && len(p.evacSet) > 0 {
 		p.evacuateSets()
 	}
-	p.marks.ClearAll()
+	p.parFor(p.marks.Words(), parClearThreshold, p.marks.ClearWords)
 	p.tracer.Finish()
 	p.satbActive.Store(false)
 	p.pacer.ObserveCycleEnd(policy.Signals{
@@ -180,8 +186,9 @@ func (p *LXR) reclaimObjectMeta(ref obj.Ref) {
 // the new copy and the incoming slot is redirected (§3.3.2).
 func (p *LXR) evacuateSets() {
 	entries := p.rem.TakeAll()
-	p.visited.ClearAll()
-	p.bt.ClearLiveAll() // reused as a per-block evacuation-failure count
+	p.parFor(p.visited.Words(), parClearThreshold, p.visited.ClearWords)
+	// Reused below as a per-block evacuation-failure count.
+	p.parFor(p.bt.Arena.Blocks(), parClearThreshold, p.bt.ClearLiveRange)
 
 	// Entries are validated against line reuse counters now and the
 	// values re-checked at processing time: survivor allocators may

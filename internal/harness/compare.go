@@ -322,6 +322,23 @@ func (c *Compare) compareSummaries(w io.Writer, oldData, newData []byte) (int, e
 				}
 			}
 		}
+		// Per-phase pause digests: a regression in one pipeline phase can
+		// hide inside an unchanged total when another phase improved (or
+		// shift between kinds), so each phase kind's p99 is gated
+		// separately with the standard ratio + floor rule. Phases present
+		// on only one side are population shifts, not regressions.
+		if ps.PausePhaseMS != nil && ns.PausePhaseMS != nil {
+			for phase, ne := range ns.PausePhaseMS {
+				oe, ok := ps.PausePhaseMS[phase]
+				if !ok || oe.Count == 0 || ne.Count == 0 {
+					continue
+				}
+				if oe.P99 > 0 || ne.P99 > 0 {
+					c.checkQuantileFloor(w, fmt.Sprintf("summary %s phase[%s]", key(ns), phase), "p99",
+						oe.P99*1e6, ne.P99*1e6, c.QuantileFloorNS, &regressions)
+				}
+			}
+		}
 		// Request latency is not gated for mutscale cells: with far more
 		// mutators than cores, open-loop arrival-to-completion latency is
 		// dominated by goroutine wakeup lateness (timer/scheduler jitter,

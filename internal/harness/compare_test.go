@@ -163,6 +163,52 @@ func TestCompareSummaries(t *testing.T) {
 	}
 }
 
+// Per-phase pause digests are gated individually: a doubled phase p99
+// must flag even when the total pause distribution is unchanged, phases
+// inside the 1 ms floor must not, and phases present on only one side
+// (population shifts like rc vs rc+mark) compare trivially.
+func TestCompareSummariesPausePhases(t *testing.T) {
+	base := RunSummary{Bench: "lusearch", Collector: "LXR", OK: true,
+		PauseMS: map[string]float64{"p99": 2.0, "max": 3.5},
+		PausePhaseMS: map[string]PhaseDigest{
+			"rc":      {Count: 40, P50: 1.0, P99: 2.0, Max: 2.2},
+			"rc+mark": {Count: 4, P50: 2.0, P99: 3.5, Max: 3.5},
+		}}
+	oldData := mustJSON(t, []RunSummary{base})
+	if n, out := compareData(t, oldData, oldData); n != 0 {
+		t.Fatalf("A/A phase comparison found %d regressions:\n%s", n, out)
+	}
+
+	slow := base
+	slow.PausePhaseMS = map[string]PhaseDigest{
+		"rc":      {Count: 40, P50: 2.5, P99: 5.5, Max: 6.0}, // >2x and >1ms: flags
+		"rc+mark": {Count: 4, P50: 2.0, P99: 3.6, Max: 3.6},  // within noise
+	}
+	n, out := compareData(t, oldData, mustJSON(t, []RunSummary{slow}))
+	if n != 1 || !strings.Contains(out, "phase[rc] p99 REGRESSION") {
+		t.Fatalf("doubled rc-phase p99 not flagged as exactly 1 regression (%d):\n%s", n, out)
+	}
+
+	// Sub-millisecond phases stay under the floor even at large ratios.
+	tiny := base
+	tiny.PausePhaseMS = map[string]PhaseDigest{"rc": {Count: 40, P99: 0.1}}
+	tinySlow := base
+	tinySlow.PausePhaseMS = map[string]PhaseDigest{"rc": {Count: 40, P99: 0.9}}
+	if n, out := compareData(t, mustJSON(t, []RunSummary{tiny}), mustJSON(t, []RunSummary{tinySlow})); n != 0 {
+		t.Fatalf("sub-floor phase movement flagged (%d):\n%s", n, out)
+	}
+
+	// A phase kind appearing only in the new run has no baseline: skip.
+	shifted := base
+	shifted.PausePhaseMS = map[string]PhaseDigest{
+		"rc":     {Count: 40, P50: 1.0, P99: 2.0, Max: 2.2},
+		"rc+dec": {Count: 6, P50: 4.0, P99: 9.0, Max: 9.0},
+	}
+	if n, out := compareData(t, oldData, mustJSON(t, []RunSummary{shifted})); n != 0 {
+		t.Fatalf("phase population shift flagged as regression (%d):\n%s", n, out)
+	}
+}
+
 // Mutscale cells record only a handful of pauses, so their gated tail
 // quantiles carry a raised floor: an isolated scheduler stall inside
 // the 25 ms floor must pass, a doubled p50 (systemic scaling

@@ -79,6 +79,14 @@ type Allocator struct {
 	oLimit  mem.Address
 	oBlock  int
 
+	// spare is one pre-acquired clean block (0 = none): a per-mutator
+	// block cache refilled from the §3.5 clean buffer, so the steady
+	// state touches the global buffer once per two blocks instead of
+	// once per block. Spares are plain Reserved blocks — no kind, no
+	// dirty note, no zeroing until handed out — and Flush returns them,
+	// so block accounting is exact at every pause.
+	spare int
+
 	// Statistics.
 	Allocated      int64 // bytes allocated through this allocator
 	SinceEpoch     int64 // bytes since last harvest (trigger accounting)
@@ -148,8 +156,9 @@ func (al *Allocator) allocOverflow(size int) (mem.Address, bool) {
 	al.oCursor = mem.BlockStart(idx)
 	al.oLimit = al.oCursor + mem.BlockSize
 	// Zero and clear metadata exactly like a bump span: stale contents
-	// here would masquerade as live references.
-	al.BT.Arena.ZeroRange(al.oCursor, al.oLimit)
+	// here would masquerade as live references. The block is freshly
+	// acquired clean, hence still allocator-private: bulk memclr.
+	al.BT.Arena.ZeroPrivate(al.oCursor, al.oLimit)
 	if al.OnSpan != nil {
 		al.OnSpan(al.oCursor, al.oLimit, false)
 	}
@@ -243,7 +252,15 @@ func nextSpan(bm *[mem.LinesPerBlock / 32]uint32, scan int) (start, end int, ok 
 func (al *Allocator) acquireBlock() bool {
 	al.retireCurrent()
 	if al.UseRecycled {
-		if idx, ok := al.BT.AcquireRecycled(); ok {
+		// Iterative on purpose: the recycled list can hold a long run of
+		// blocks whose only free lines are consumed by the conservative
+		// straddle rule, and the allocation slow path must not deepen
+		// the stack once per such block.
+		for {
+			idx, ok := al.BT.AcquireRecycled()
+			if !ok {
+				break
+			}
 			al.BT.SetKind(idx, al.Kind)
 			al.BT.NoteDirty(idx)
 			al.BlocksRecycled++
@@ -255,9 +272,9 @@ func (al *Allocator) acquireBlock() bool {
 			if al.nextSpanInBlock() {
 				return true
 			}
-			// A recycled block may have had its last lines consumed by
-			// the conservative rule; retire it and try again.
-			return al.acquireBlock()
+			// No bumpable span survived the conservative rule; retire
+			// the block and take the next recycled one.
+			al.retireCurrent()
 		}
 	}
 	idx, ok := al.acquireClean()
@@ -272,7 +289,30 @@ func (al *Allocator) acquireBlock() bool {
 	return true
 }
 
+// spareHeadroomBlocks gates spare prefetching: near budget exhaustion,
+// privately cached blocks would only hasten allocation failure and
+// distort the occupancy the collector triggers on, so spares are taken
+// only while the budget has comfortable slack.
+const spareHeadroomBlocks = 64
+
 func (al *Allocator) acquireClean() (int, bool) {
+	if idx := al.spare; idx != 0 {
+		al.spare = 0
+		return idx, true
+	}
+	idx, ok := al.btAcquireClean()
+	if !ok {
+		return 0, false
+	}
+	if !al.NoBudget && al.BT.BudgetRemaining() > spareHeadroomBlocks {
+		if s, ok := al.btAcquireClean(); ok {
+			al.spare = s
+		}
+	}
+	return idx, true
+}
+
+func (al *Allocator) btAcquireClean() (int, bool) {
 	if al.NoBudget {
 		return al.BT.AcquireCleanNoBudget()
 	}
@@ -288,9 +328,16 @@ func (al *Allocator) prepareClean(idx int) {
 func (al *Allocator) setSpan(start, end mem.Address, recycled bool) {
 	al.cursor = start
 	al.limit = end
-	// Zero immediately before allocating into the span (§3.1); clean
-	// blocks are zeroed in bulk here, recycled lines span by span.
-	al.BT.Arena.ZeroRange(start, end)
+	// Zero immediately before allocating into the span (§3.1). A clean
+	// block is allocator-private until its first object is published, so
+	// it takes the bulk memclr path; recycled line spans sit inside
+	// published blocks and must keep the word-atomic path (stale-ref
+	// forwarding probes can land inside them — see Arena.Zero).
+	if recycled {
+		al.BT.Arena.ZeroRange(start, end)
+	} else {
+		al.BT.Arena.ZeroPrivate(start, end)
+	}
 	if al.OnSpan != nil {
 		al.OnSpan(start, end, recycled)
 	}
@@ -312,12 +359,18 @@ func (al *Allocator) retireOverflow() {
 	al.oCursor, al.oLimit = 0, 0
 }
 
-// Flush retires the allocator's blocks. Plans call it at collection
-// pauses, because the lines backing the bump span may be reclaimed or
-// the block's flags rewritten.
+// Flush retires the allocator's blocks and returns any cached spare to
+// the clean pool. Plans call it at collection pauses, because the lines
+// backing the bump span may be reclaimed or the block's flags
+// rewritten — and because sweeps must see exact block accounting, with
+// no clean blocks parked in private caches.
 func (al *Allocator) Flush() {
 	al.retireCurrent()
 	al.retireOverflow()
+	if al.spare != 0 {
+		al.BT.ReleaseFree(al.spare)
+		al.spare = 0
+	}
 	al.scan = 0
 }
 

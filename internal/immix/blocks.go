@@ -7,7 +7,7 @@ package immix
 
 import (
 	"fmt"
-	"sync"
+	"math/bits"
 	"sync/atomic"
 
 	"lxr/internal/mem"
@@ -77,9 +77,14 @@ type BlockTable struct {
 
 	mainBlocks int // blocks [1, mainBlocks] belong to the main space
 
-	dirtyMu   sync.Mutex
-	dirty     []int // blocks allocated into since the last collection
-	dirtySet  []bool
+	// Dirty-block tracking: which blocks received allocation since the
+	// last collection, maintained lock-free so NoteDirty on the
+	// allocation slow path never serializes a thousand mutators behind
+	// one mutex. One bit per block; each 32-bit word is an independent
+	// shard (CAS to set, Swap to drain), so noters of far-apart blocks
+	// never touch the same cache line.
+	dirtyBits []uint32
+
 	defragSet []int // current evacuation-set blocks
 
 	// Trace, when set, receives block lifecycle events (debugging).
@@ -124,7 +129,7 @@ func NewBlockTable(cfg Config) *BlockTable {
 		cleanBuf:     make([]atomic.Uint32, cfg.CleanBufferSlots),
 		budgetBlocks: cfg.HeapBytes / mem.BlockSize,
 		mainBlocks:   mainBytes / mem.BlockSize,
-		dirtySet:     make([]bool, n),
+		dirtyBits:    make([]uint32, (n+31)/32),
 	}
 	// Blocks run [1, mainBlocks] for the main space; the rest is LOS.
 	for i := bt.mainBlocks; i >= 1; i-- {
@@ -222,8 +227,17 @@ func (bt *BlockTable) Live(idx int) int32 { return atomic.LoadInt32(&bt.live[idx
 
 // ClearLiveAll zeroes the live-byte scratch for all blocks.
 func (bt *BlockTable) ClearLiveAll() {
-	for i := range bt.live {
-		atomic.StoreInt32(&bt.live[i], 0)
+	bt.ClearLiveRange(0, len(bt.live))
+}
+
+// ClearLiveRange zeroes the live-byte scratch for blocks [lo, hi), so
+// pause code can split the full clear across gcwork.ParallelFor workers
+// (partition over [0, Arena.Blocks())) instead of walking every block's
+// live word serially at each cycle start.
+func (bt *BlockTable) ClearLiveRange(lo, hi int) {
+	ls := bt.live[lo:hi:hi]
+	for i := range ls {
+		atomic.StoreInt32(&ls[i], 0)
 	}
 }
 
@@ -386,27 +400,52 @@ func (bt *BlockTable) Retire(idx int) {
 // --- dirty block tracking ----------------------------------------------------
 
 // NoteDirty records that a block received new allocation since the last
-// collection, so the next RC pause must sweep it.
+// collection, so the next RC pause must sweep it. It is lock-free: a
+// load of the block's dirty bit dedups with no write at all (the common
+// case, since a block is noted once per span but allocated into many
+// times), and only the first noter per epoch CASes the bit in. Each
+// 32-bit bitmap word is an independent shard — contention is bounded to
+// the handful of mutators racing to first-note one of the same 32
+// neighbouring blocks, never a global point.
 func (bt *BlockTable) NoteDirty(idx int) {
-	bt.dirtyMu.Lock()
-	if !bt.dirtySet[idx] {
-		bt.dirtySet[idx] = true
-		bt.dirty = append(bt.dirty, idx)
-	}
-	bt.dirtyMu.Unlock()
 	bt.SetFlag(idx, FlagDirty)
+	w, m := idx/32, uint32(1)<<(idx%32)
+	for {
+		old := atomic.LoadUint32(&bt.dirtyBits[w])
+		if old&m != 0 {
+			return // already queued for the next sweep
+		}
+		if atomic.CompareAndSwapUint32(&bt.dirtyBits[w], old, old|m) {
+			return
+		}
+	}
 }
 
-// TakeDirty returns and clears the set of dirty blocks.
+// TakeDirty returns and clears the set of dirty blocks by swap-draining
+// the bitmap one word at a time. Each Swap is the linearization point
+// for its 32 blocks: every NoteDirty that completed before the Swap is
+// captured by this take, a note that lands after it is deferred whole
+// to the next pause, and no bit is ever observed by two takers. The
+// leading plain load skips empty words without taking the cache line
+// exclusive, so a take over a mostly-clean heap is a read-only scan.
+//
+// The result comes out sorted ascending for free — bits are emitted in
+// word-then-bit order — which the sweep's classify pass wants anyway:
+// it reads each block's RC-table words, so ascending order walks the
+// table sequentially instead of striding across it.
 func (bt *BlockTable) TakeDirty() []int {
-	bt.dirtyMu.Lock()
-	defer bt.dirtyMu.Unlock()
-	d := bt.dirty
-	bt.dirty = nil
-	for _, idx := range d {
-		bt.dirtySet[idx] = false
+	var out []int
+	for w := range bt.dirtyBits {
+		if atomic.LoadUint32(&bt.dirtyBits[w]) == 0 {
+			continue
+		}
+		set := atomic.SwapUint32(&bt.dirtyBits[w], 0)
+		for set != 0 {
+			out = append(out, w*32+bits.TrailingZeros32(set))
+			set &= set - 1
+		}
 	}
-	return d
+	return out
 }
 
 // BlockClass is the sweep classification used by RebuildFromSweep.
@@ -461,12 +500,7 @@ func (bt *BlockTable) RebuildFromSweep(classify func(idx int) BlockClass) {
 	bt.freeCount.Store(int32(free))
 	bt.recyCount.Store(int32(recy))
 	bt.inUse.Store(int32(inUse))
-	bt.dirtyMu.Lock()
-	for _, idx := range bt.dirty {
-		bt.dirtySet[idx] = false
-	}
-	bt.dirty = nil
-	bt.dirtyMu.Unlock()
+	bt.TakeDirty() // world is stopped: discard exactly the queued set
 }
 
 // AllBlocks invokes f for every main-space block index.

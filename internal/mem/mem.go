@@ -189,6 +189,27 @@ func (a *Arena) ZeroRange(start, end Address) {
 	a.Zero(start, int(end-start))
 }
 
+// ZeroPrivate clears the bytes in [start, end) with plain (non-atomic)
+// stores, compiling to a bulk memclr. It is for ranges that are private
+// to the caller — freshly acquired clean blocks a thread-local allocator
+// has reserved but not yet published any object in. The only concurrent
+// accesses that can land in such a range are defensive probes of stale
+// references into the block's previous life (forwarding-word loads
+// reached through plausibleRef on old dirty/remset/decrement values);
+// every such probe's result is re-validated by the prober (saneRef,
+// RC-zero and state checks that tolerate any torn value), so the races
+// are value-benign — but they are still races by the memory model, so
+// race-instrumented builds fall back to word-atomic stores (see
+// zero_race.go) and stay detector-clean by construction. Shared ranges
+// — recycled line spans inside published blocks — must keep using the
+// word-atomic ZeroRange.
+func (a *Arena) ZeroPrivate(start, end Address) {
+	if start >= end {
+		return
+	}
+	a.zeroPrivate(int(start>>WordLog), int(end-start)/WordSize)
+}
+
 // Copy copies n bytes from src to dst. Both must be word aligned. It is
 // used for object evacuation, where both sides can be touched
 // concurrently by other collector workers through word-atomic accesses:

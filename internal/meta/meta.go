@@ -157,15 +157,58 @@ func (t *RCTable) ClearRange(start, end mem.Address) {
 // allocator's word-at-a-time span scan (immix.LineBitsSource).
 func (t *RCTable) FreeLineBits(firstLine int, bits *[mem.LinesPerBlock / 32]uint32) {
 	for i := range bits {
-		base := firstLine + i*32
+		ws := t.words[firstLine+i*32 : firstLine+i*32+32 : firstLine+i*32+32]
 		var w uint32
-		for b := 0; b < 32; b++ {
-			if atomic.LoadUint32(&t.words[base+b]) == 0 {
+		for b := range ws {
+			if atomic.LoadUint32(&ws[b]) == 0 {
 				w |= 1 << uint(b)
 			}
 		}
 		bits[i] = w
 	}
+}
+
+// LineSummary scans the n line words starting at global line firstLine
+// and reports whether any line is free (RC word zero) and whether any
+// line is used. Sweep classification needs only these two facts — empty
+// (!anyUsed), partial (anyFree && anyUsed), or full (!anyFree) — so the
+// scan stops as soon as both are known, which for the common partially
+// occupied block is after a handful of loads instead of a fixed
+// LinesPerBlock probes through per-line accessors.
+// The loop structure matters: the young sweep's dominant case is the
+// all-free block, so the scan measures the leading run of free words
+// four at a time (one OR-reduced branch per four loads) and only
+// switches to hunting for a free word — with immediate exit — if the
+// run breaks before the end.
+func (t *RCTable) LineSummary(firstLine, n int) (anyFree, anyUsed bool) {
+	ws := t.words[firstLine : firstLine+n : firstLine+n]
+	if len(ws) == 0 {
+		return false, false
+	}
+	i := 0
+	for ; i+4 <= len(ws); i += 4 {
+		if atomic.LoadUint32(&ws[i])|atomic.LoadUint32(&ws[i+1])|
+			atomic.LoadUint32(&ws[i+2])|atomic.LoadUint32(&ws[i+3]) != 0 {
+			break
+		}
+	}
+	for ; i < len(ws); i++ {
+		if atomic.LoadUint32(&ws[i]) != 0 {
+			break
+		}
+	}
+	if i == len(ws) {
+		return true, false
+	}
+	if i > 0 {
+		return true, true
+	}
+	for i = 1; i < len(ws); i++ {
+		if atomic.LoadUint32(&ws[i]) == 0 {
+			return true, true
+		}
+	}
+	return false, true
 }
 
 // clearBits32 atomically clears the masked bits of *w.
@@ -296,6 +339,20 @@ func (t *BitTable) ClearAll() {
 	}
 }
 
+// Words returns the number of 32-bit words backing the table, for
+// callers that partition a full-table operation across workers.
+func (t *BitTable) Words() int { return len(t.words) }
+
+// ClearWords clears words [lo, hi) of the table. Combined with Words it
+// lets pause code parallelize a full clear over gcwork.ParallelFor
+// instead of walking the whole table on one thread.
+func (t *BitTable) ClearWords(lo, hi int) {
+	ws := t.words[lo:hi:hi]
+	for i := range ws {
+		atomic.StoreUint32(&ws[i], 0)
+	}
+}
+
 // rangeWords maps [start, end) to the unit-index range the equivalent
 // per-unit loop would visit (stepping by the unit size from start,
 // which need not be aligned) and the word/shift coordinates of its
@@ -401,7 +458,17 @@ func (c *LineCounters) Reset(idx int) { atomic.StoreUint32(&c.counts[idx], 0) }
 
 // ResetAll zeroes every counter. Called at each SATB start.
 func (c *LineCounters) ResetAll() {
-	for i := range c.counts {
-		atomic.StoreUint32(&c.counts[i], 0)
+	c.ResetRange(0, len(c.counts))
+}
+
+// Len returns the number of per-line counters.
+func (c *LineCounters) Len() int { return len(c.counts) }
+
+// ResetRange zeroes counters [lo, hi), so the full reset can be
+// partitioned across pause workers.
+func (c *LineCounters) ResetRange(lo, hi int) {
+	cs := c.counts[lo:hi:hi]
+	for i := range cs {
+		atomic.StoreUint32(&cs[i], 0)
 	}
 }

@@ -42,6 +42,30 @@ func (v *VM) EachMutatorParallel(pool *gcwork.Pool, f func(m *Mutator)) {
 	})
 }
 
+// EachMutatorShardParallel is EachMutatorParallel with the rendezvous
+// shard index passed through: each shard is visited by exactly one
+// worker, so callers can accumulate into MutatorShards-many partial
+// results without any locking and merge them serially afterwards
+// (the flush step of the RC pause does exactly this). f must be safe
+// to call concurrently for distinct shards. World must be stopped.
+func (v *VM) EachMutatorShardParallel(pool *gcwork.Pool, f func(shard int, m *Mutator)) {
+	if pool == nil || v.MutatorCount() < parRootThreshold {
+		for s := range v.shards {
+			for _, m := range v.shards[s].muts {
+				f(s, m)
+			}
+		}
+		return
+	}
+	pool.ParallelFor(MutatorShards, func(_, start, end int) {
+		for s := start; s < end; s++ {
+			for _, m := range v.shards[s].muts {
+				f(s, m)
+			}
+		}
+	})
+}
+
 // SnapshotRootsParallel appends every root (all mutator shadow stacks
 // plus the global root slots) to dst, scanning shards in parallel.
 // Workers write disjoint per-partition slices which are concatenated
